@@ -1,0 +1,76 @@
+// Shared experiment-stack builders for the paper-reproduction benchmarks.
+//
+// Each bench binary builds a "stack": a SchedCore with the scheduling
+// classes of one experimental configuration registered in priority order
+// (agents > Enoki/ghOSt policy > CFS), mirroring how the paper's testbed
+// composes schedulers.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/enoki/runtime.h"
+#include "src/sched/cfs.h"
+#include "src/sched/ghost.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+struct Stack {
+  std::unique_ptr<SchedCore> core;
+  std::unique_ptr<CfsClass> cfs;
+  std::unique_ptr<EnokiRuntime> runtime;   // set for Enoki stacks
+  std::unique_ptr<AgentClass> agents;      // set for ghOSt stacks
+  std::unique_ptr<GhostClass> ghost;       // set for ghOSt stacks
+  int policy = 0;      // the experiment's primary scheduling policy
+  int cfs_policy = 0;  // the CFS policy id on this stack
+};
+
+// CFS-only stack.
+inline Stack MakeCfsStack(MachineSpec spec = MachineSpec::OneSocket8(),
+                          SimCosts costs = SimCosts{}) {
+  Stack s;
+  s.core = std::make_unique<SchedCore>(spec, costs);
+  s.cfs = std::make_unique<CfsClass>();
+  s.policy = s.core->RegisterClass(s.cfs.get());
+  s.cfs_policy = s.policy;
+  return s;
+}
+
+// Enoki module above CFS.
+inline Stack MakeEnokiStack(std::unique_ptr<EnokiSched> module,
+                            MachineSpec spec = MachineSpec::OneSocket8(),
+                            SimCosts costs = SimCosts{}) {
+  Stack s;
+  s.core = std::make_unique<SchedCore>(spec, costs);
+  s.runtime = std::make_unique<EnokiRuntime>(std::move(module));
+  s.cfs = std::make_unique<CfsClass>();
+  s.policy = s.core->RegisterClass(s.runtime.get());
+  s.cfs_policy = s.core->RegisterClass(s.cfs.get());
+  return s;
+}
+
+// ghOSt: agents > ghost > CFS. `agent_cpu` is the dedicated core for
+// SOL/Shinjuku agents (ignored for per-CPU FIFO).
+inline Stack MakeGhostStack(GhostClass::Mode mode, CpuMask worker_cpus, int agent_cpu,
+                            MachineSpec spec = MachineSpec::OneSocket8(),
+                            SimCosts costs = SimCosts{}) {
+  Stack s;
+  s.core = std::make_unique<SchedCore>(spec, costs);
+  s.agents = std::make_unique<AgentClass>();
+  s.ghost = std::make_unique<GhostClass>(mode, worker_cpus);
+  s.cfs = std::make_unique<CfsClass>();
+  const int agent_policy = s.core->RegisterClass(s.agents.get());
+  s.policy = s.core->RegisterClass(s.ghost.get());
+  s.cfs_policy = s.core->RegisterClass(s.cfs.get());
+  s.ghost->SpawnAgents(agent_policy, agent_cpu);
+  return s;
+}
+
+}  // namespace enoki
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Reproduces section 5.8: record and replay performance on the WFQ pipe
+// benchmark.
+//
+// Paper reference: the pipe benchmark takes ~4 s normally, ~30 s with record
+// active (~7.5x), and the replay takes ~3 minutes (~45x), with replay time
+// dominated by blocking threads until their recorded turn.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/enoki/replay.h"
+#include "src/sched/wfq.h"
+#include "src/workloads/pipe.h"
+
+namespace enoki {
+namespace {
+
+constexpr uint64_t kMessages = 20'000;  // scaled from the paper's 1M
+
+void Run() {
+  std::printf("Section 5.8: record and replay on the WFQ pipe benchmark (%llu messages)\n\n",
+              static_cast<unsigned long long>(kMessages));
+
+  // --- Normal operation ---
+  Duration normal_ns;
+  {
+    Stack s = MakeEnokiStack(std::make_unique<WfqSched>(0));
+    PipeBenchConfig cfg;
+    cfg.messages = kMessages;
+    normal_ns = RunPipeBench(*s.core, s.policy, cfg).elapsed_ns;
+  }
+
+  // --- Record mode ---
+  Recorder recorder(1 << 22);
+  Duration record_ns;
+  {
+    SetLockHooks(&recorder);
+    Stack s = MakeEnokiStack(std::make_unique<WfqSched>(0));
+    s.runtime->SetRecorder(&recorder);
+    // The userspace record task drains the ring to the log, as in the paper.
+    auto drain = [&recorder](SimContext&) -> Action {
+      recorder.Drain();
+      return Action::Sleep(Milliseconds(1));
+    };
+    s.core->CreateTaskOn("record-task", MakeFnBody(drain), s.cfs_policy, 0, CpuMask::Single(7));
+    PipeBenchConfig cfg;
+    cfg.messages = kMessages;
+    record_ns = RunPipeBench(*s.core, s.policy, cfg).elapsed_ns;
+    SetLockHooks(nullptr);
+  }
+  auto log = recorder.TakeLog();
+
+  std::printf("normal:   %8.3f s (simulated)\n", ToSeconds(normal_ns));
+  std::printf("record:   %8.3f s (simulated), slowdown %.1fx (paper: ~7.5x)\n",
+              ToSeconds(record_ns),
+              static_cast<double>(record_ns) / static_cast<double>(normal_ns));
+  std::printf("log:      %zu entries, %llu dropped\n", log.size(),
+              static_cast<unsigned long long>(recorder.dropped()));
+
+  // --- Replay (real threads, real wall-clock) ---
+  ReplayEngine engine(std::move(log), 8);
+  engine.InstallHooks();
+  auto module = std::make_unique<WfqSched>(0);
+  module->Attach(engine.env());
+  const auto result = engine.Run(module.get());
+  std::printf("replay:   %8.3f s wall clock, %llu calls, %llu mismatches, %llu lock waits\n",
+              result.replay_seconds, static_cast<unsigned long long>(result.calls_replayed),
+              static_cast<unsigned long long>(result.response_mismatches),
+              static_cast<unsigned long long>(result.lock_blocks));
+  std::printf("\nShape check: record costs several-x over normal; replay is far slower than\n"
+              "the original (thread-per-message + enforced lock order), and validates with\n"
+              "zero response mismatches.\n");
+}
+
+}  // namespace
+}  // namespace enoki
+
+int main() {
+  enoki::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table 5: CFS vs Enoki WFQ across the NAS Parallel Benchmark
+// analogs and the Phoronix Multicore analogs (36 benchmarks), reporting the
+// per-benchmark performance delta and the geometric mean.
+//
+// Paper reference: max slowdown 8.57%, geometric mean 0.74%, with a few
+// speedups (up to -8.03%) from the simplified balancing.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/base/stats.h"
+#include "src/sched/wfq.h"
+#include "src/workloads/apps.h"
+
+namespace enoki {
+namespace {
+
+void Run() {
+  const MachineSpec spec = MachineSpec::OneSocket8();
+  std::printf("Table 5: CFS vs Enoki WFQ on the NAS + Phoronix Multicore analogs\n");
+  std::printf("machine: %s; score = work units/s (higher is better)\n\n", spec.name.c_str());
+  std::printf("%-28s %12s %12s %9s\n", "Benchmark", "CFS", "WFQ", "delta");
+
+  const auto suite = Table5Suite(spec.ncpus);
+  std::vector<double> ratios;
+  double max_slowdown = 0.0;
+  double max_speedup = 0.0;
+  for (const AppSpec& spec_entry : suite) {
+    Stack cfs = MakeCfsStack(spec);
+    const AppResult cfs_result = RunApp(*cfs.core, cfs.policy, spec_entry);
+
+    Stack wfq = MakeEnokiStack(std::make_unique<WfqSched>(0), spec);
+    const AppResult wfq_result = RunApp(*wfq.core, wfq.policy, spec_entry);
+
+    if (!cfs_result.completed || !wfq_result.completed) {
+      std::printf("%-28s DID NOT COMPLETE\n", spec_entry.name.c_str());
+      continue;
+    }
+    // Positive delta = WFQ slower, matching the paper's sign convention.
+    const double delta = (cfs_result.score - wfq_result.score) / cfs_result.score * 100.0;
+    max_slowdown = std::max(max_slowdown, delta);
+    max_speedup = std::min(max_speedup, delta);
+    ratios.push_back(cfs_result.score / wfq_result.score);
+    std::printf("%-28s %12.2f %12.2f %8.2f%%\n", spec_entry.name.c_str(), cfs_result.score,
+                wfq_result.score, delta);
+  }
+  const double geomean_pct = (GeometricMean(ratios) - 1.0) * 100.0;
+  std::printf("\nGeometric mean slowdown: %.2f%% (paper: 0.74%%)\n", geomean_pct);
+  std::printf("Max slowdown: %.2f%% (paper: 8.57%%), max speedup: %.2f%% (paper: -8.03%%)\n",
+              max_slowdown, max_speedup);
+}
+
+}  // namespace
+}  // namespace enoki
+
+int main() {
+  enoki::Run();
+  return 0;
+}

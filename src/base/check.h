@@ -1,0 +1,35 @@
+// Lightweight CHECK macros.
+//
+// The simulator is a correctness tool: invariant violations should abort
+// loudly in every build type, so these are not compiled out in release mode.
+
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace enoki {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace enoki
+
+#define ENOKI_CHECK(expr)                               \
+  do {                                                  \
+    if (!(expr)) {                                      \
+      ::enoki::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                   \
+  } while (0)
+
+#define ENOKI_CHECK_MSG(expr, msg)                     \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::enoki::CheckFailed(__FILE__, __LINE__, (msg)); \
+    }                                                  \
+  } while (0)
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,104 @@
+// CPU affinity mask supporting up to 128 CPUs (the simulated machines use at
+// most 80). Mirrors the role of cpumask_t in the kernel: task affinity,
+// scheduler placement filters, and per-policy CPU sets.
+
+#ifndef SRC_BASE_CPUMASK_H_
+#define SRC_BASE_CPUMASK_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace enoki {
+
+class CpuMask {
+ public:
+  static constexpr int kMaxCpus = 128;
+
+  constexpr CpuMask() = default;
+
+  static CpuMask All(int ncpus) {
+    CpuMask m;
+    for (int i = 0; i < ncpus; ++i) {
+      m.Set(i);
+    }
+    return m;
+  }
+
+  static CpuMask Single(int cpu) {
+    CpuMask m;
+    m.Set(cpu);
+    return m;
+  }
+
+  void Set(int cpu) {
+    ENOKI_CHECK(cpu >= 0 && cpu < kMaxCpus);
+    words_[cpu / 64] |= 1ull << (cpu % 64);
+  }
+
+  void Clear(int cpu) {
+    ENOKI_CHECK(cpu >= 0 && cpu < kMaxCpus);
+    words_[cpu / 64] &= ~(1ull << (cpu % 64));
+  }
+
+  bool Test(int cpu) const {
+    if (cpu < 0 || cpu >= kMaxCpus) {
+      return false;
+    }
+    return (words_[cpu / 64] >> (cpu % 64)) & 1;
+  }
+
+  int Count() const {
+    return __builtin_popcountll(words_[0]) + __builtin_popcountll(words_[1]);
+  }
+
+  bool Empty() const { return words_[0] == 0 && words_[1] == 0; }
+
+  // First set CPU, or -1 when empty.
+  int First() const {
+    if (words_[0] != 0) {
+      return __builtin_ctzll(words_[0]);
+    }
+    if (words_[1] != 0) {
+      return 64 + __builtin_ctzll(words_[1]);
+    }
+    return -1;
+  }
+
+  // Next set CPU strictly after `cpu`, or -1.
+  int NextAfter(int cpu) const {
+    for (int i = cpu + 1; i < kMaxCpus; ++i) {
+      if (Test(i)) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  CpuMask Intersect(const CpuMask& other) const {
+    CpuMask m;
+    m.words_[0] = words_[0] & other.words_[0];
+    m.words_[1] = words_[1] & other.words_[1];
+    return m;
+  }
+
+  bool operator==(const CpuMask& other) const {
+    return words_[0] == other.words_[0] && words_[1] == other.words_[1];
+  }
+
+  uint64_t word(int i) const { return words_[i]; }
+
+  static CpuMask FromWords(uint64_t w0, uint64_t w1) {
+    CpuMask m;
+    m.words_[0] = w0;
+    m.words_[1] = w1;
+    return m;
+  }
+
+ private:
+  uint64_t words_[2] = {0, 0};
+};
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_CPUMASK_H_

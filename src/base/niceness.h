@@ -1,0 +1,13 @@
+// Linux niceness bounds, shared by the task model and the Enoki API.
+
+#ifndef SRC_BASE_NICENESS_H_
+#define SRC_BASE_NICENESS_H_
+
+namespace enoki {
+
+constexpr int kMinNice = -20;
+constexpr int kMaxNice = 19;
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_NICENESS_H_

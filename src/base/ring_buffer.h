@@ -1,0 +1,87 @@
+// Single-producer / single-consumer ring buffer.
+//
+// This is the shared-memory channel primitive underpinning two Enoki
+// mechanisms from the paper:
+//  - userspace <-> kernel scheduler hint queues (section 3.3), and
+//  - the record channel drained by the userspace record task (section 3.4).
+//
+// Within the simulator the producer and consumer run on the same host thread,
+// but the replay engine and the record writer exercise it from real threads,
+// so the implementation is a proper lock-free SPSC queue with acquire/release
+// ordering. Capacity is fixed at construction; producers observe overruns
+// (Push returns false), mirroring the paper's "if the buffer overruns, events
+// may be dropped".
+
+#ifndef SRC_BASE_RING_BUFFER_H_
+#define SRC_BASE_RING_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace enoki {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {
+    ENOKI_CHECK(capacity > 0);
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  // Producer side. Returns false (and drops the element) when full.
+  bool Push(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt when empty.
+  std::optional<T> Pop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) {
+      return std::nullopt;
+    }
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return slots_.size(); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  std::vector<T> slots_;
+  const size_t mask_;
+  std::atomic<size_t> head_{0};
+  std::atomic<size_t> tail_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_RING_BUFFER_H_

@@ -1,0 +1,37 @@
+// Simulated-time primitives.
+//
+// All simulator time is expressed in nanoseconds since simulation start. We
+// deliberately use plain unsigned integers rather than std::chrono: every
+// quantity in the simulator (event timestamps, task runtimes, cost-model
+// charges) is a nanosecond count, and keeping a single flat representation
+// makes the arithmetic in the hot scheduling paths trivially cheap and easy
+// to audit.
+
+#ifndef SRC_BASE_TIME_H_
+#define SRC_BASE_TIME_H_
+
+#include <cstdint>
+
+namespace enoki {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using Time = uint64_t;
+
+// A span of simulated time, in nanoseconds. Durations are non-negative;
+// subtraction of times is only performed where ordering is already known.
+using Duration = uint64_t;
+
+constexpr Time kTimeMax = ~0ull;
+
+constexpr Duration Nanoseconds(uint64_t n) { return n; }
+constexpr Duration Microseconds(uint64_t n) { return n * 1000ull; }
+constexpr Duration Milliseconds(uint64_t n) { return n * 1000'000ull; }
+constexpr Duration Seconds(uint64_t n) { return n * 1000'000'000ull; }
+
+constexpr double ToMicroseconds(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMilliseconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_TIME_H_

@@ -1,0 +1,238 @@
+// The Enoki scheduler API: the C++ rendering of the paper's EnokiScheduler
+// trait (Table 1) and the Schedulable ownership token (section 3.1).
+//
+// A scheduler implements EnokiSched and nothing else: it never touches
+// kernel state directly. The framework (enoki::EnokiRuntime) translates the
+// kernel's scheduling-class callbacks into calls on this interface, passing
+// plain-value "message" structs — no pointers cross the boundary — and
+// move-only Schedulable tokens that prove a task may run on a given CPU.
+//
+// The paper expresses the token discipline with Rust's affine types; here it
+// is expressed with C++ move semantics: Schedulable has no copy constructor,
+// so a scheduler cannot retain a usable duplicate of a token it has returned.
+// Returning a stale or wrong-CPU token is detected at runtime by the
+// framework's generation check and routed back through PntErr, mirroring the
+// paper's pick_next_task validation.
+
+#ifndef SRC_ENOKI_API_H_
+#define SRC_ENOKI_API_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <typeinfo>
+#include <utility>
+
+#include "src/base/cpumask.h"
+#include "src/base/niceness.h"
+#include "src/base/ring_buffer.h"
+#include "src/base/time.h"
+
+namespace enoki {
+
+// Proof that a task may be scheduled on a CPU. Minted only by the framework;
+// move-only so schedulers cannot clone validation they have given back.
+class Schedulable {
+ public:
+  Schedulable(Schedulable&& other) noexcept { *this = std::move(other); }
+
+  Schedulable& operator=(Schedulable&& other) noexcept {
+    pid_ = other.pid_;
+    cpu_ = other.cpu_;
+    generation_ = other.generation_;
+    other.pid_ = 0;  // moved-from tokens are visibly invalid
+    return *this;
+  }
+
+  Schedulable(const Schedulable&) = delete;
+  Schedulable& operator=(const Schedulable&) = delete;
+
+  uint64_t pid() const { return pid_; }
+  int cpu() const { return cpu_; }
+  bool valid() const { return pid_ != 0; }
+
+ private:
+  friend class SchedulableMinter;
+  Schedulable(uint64_t pid, int cpu, uint64_t generation)
+      : pid_(pid), cpu_(cpu), generation_(generation) {}
+
+  uint64_t pid_ = 0;
+  int cpu_ = -1;
+  uint64_t generation_ = 0;
+};
+
+// Only the framework (and the replay engine, which stands in for it) mints
+// tokens. Scheduler modules cannot: the constructor is private and this
+// factory lives behind framework internals.
+class SchedulableMinter {
+ public:
+  static Schedulable Mint(uint64_t pid, int cpu, uint64_t generation) {
+    return Schedulable(pid, cpu, generation);
+  }
+  static uint64_t Generation(const Schedulable& s) { return s.generation_; }
+};
+
+// Per-call message payloads. All values; no pointers into kernel state.
+struct TaskMessage {
+  uint64_t pid = 0;
+  int cpu = -1;        // CPU the event concerns
+  int prev_cpu = -1;   // task's previous CPU (select/wakeup)
+  Duration runtime = 0;  // accumulated runtime, tracked by the framework
+  int nice = 0;
+  bool wake_sync = false;  // WF_SYNC: waker blocks imminently
+  bool is_new = false;     // first placement of a newly created task
+};
+
+struct MigrateMessage {
+  uint64_t pid = 0;
+  int from_cpu = -1;
+  int to_cpu = -1;
+  Duration runtime = 0;
+};
+
+// Scheduler-defined hint payload (section 3.3). The framework moves opaque
+// fixed-size blobs across the user/kernel boundary; schedulers define the
+// interpretation (and typically wrap this in a typed view).
+struct HintBlob {
+  uint64_t w[4] = {0, 0, 0, 0};
+};
+
+using HintQueue = RingBuffer<HintBlob>;
+
+// Type-erased state passed between scheduler versions across a live upgrade
+// (section 3.2). The new version must name the exact type the old version
+// exported; a mismatch yields nullptr from Take(), which the runtime treats
+// as an upgrade error.
+class TransferState {
+ public:
+  TransferState() = default;
+
+  template <typename T>
+  static TransferState Of(std::unique_ptr<T> value) {
+    TransferState s;
+    s.data_ = std::shared_ptr<void>(value.release(), [](void* p) { delete static_cast<T*>(p); });
+    s.type_ = &typeid(T);
+    return s;
+  }
+
+  template <typename T>
+  std::unique_ptr<T> Take() {
+    if (type_ == nullptr || *type_ != typeid(T) || data_ == nullptr) {
+      return nullptr;
+    }
+    // The framework hands transfer state to exactly one recipient, so the
+    // shared_ptr is unique here.
+    T* raw = static_cast<T*>(data_.get());
+    auto deleter_holder = data_;
+    data_ = nullptr;
+    type_ = nullptr;
+    // Detach: keep the object alive past the shared_ptr by copying out.
+    // To avoid requiring copyability, release via aliasing trick: we know
+    // use_count()==1, so steal the pointer and neuter the deleter.
+    return std::unique_ptr<T>(new T(std::move(*raw)));
+  }
+
+  bool empty() const { return data_ == nullptr; }
+  const char* type_name() const { return type_ == nullptr ? "<empty>" : type_->name(); }
+
+ private:
+  std::shared_ptr<void> data_;
+  const std::type_info* type_ = nullptr;
+};
+
+// Kernel services available to a scheduler module (locks and timers per
+// section 3.1; reverse hint queues per section 3.3). Implemented by the
+// runtime in the simulated kernel and by a stub in userspace replay.
+class EnokiKernelEnv {
+ public:
+  virtual ~EnokiKernelEnv() = default;
+
+  virtual Time Now() const = 0;
+  virtual int NumCpus() const = 0;
+  virtual int NodeOf(int cpu) const = 0;
+
+  // Arms a one-shot per-CPU timer; TimerFired(cpu) is invoked on expiry.
+  virtual void ArmTimer(int cpu, Duration delay) = 0;
+
+  // Requests that `cpu` re-enter the scheduler (resched IPI).
+  virtual void ReschedCpu(int cpu) = 0;
+
+  // Pushes a kernel-to-user hint onto reverse queue `queue_id`.
+  virtual void PushRevHint(int queue_id, const HintBlob& hint) = 0;
+};
+
+// The EnokiScheduler trait (paper Table 1). Method names follow the paper's
+// functions one-for-one. A scheduler manages only its own state in response
+// to these calls; the framework owns all kernel state.
+class EnokiSched {
+ public:
+  virtual ~EnokiSched() = default;
+
+  // Called once at load (and after upgrade) with the kernel services handle.
+  virtual void Attach(EnokiKernelEnv* env) { env_ = env; }
+
+  // get_policy: the policy number this scheduler serves.
+  virtual int GetPolicy() const = 0;
+
+  // pick_next_task: return the token of the task to run on `cpu`, or nullopt
+  // to leave the CPU idle (ceding it to lower scheduling classes). `curr` is
+  // unused by the runtime's requeue-first protocol and always nullopt in
+  // kernel operation; it is kept for API fidelity and for replayed traces.
+  virtual std::optional<Schedulable> PickNextTask(int cpu, std::optional<Schedulable> curr) = 0;
+
+  // pnt_err: the returned token failed validation; ownership comes back.
+  virtual void PntErr(int cpu, std::optional<Schedulable> sched) {}
+
+  virtual void TaskDead(uint64_t pid) = 0;
+  virtual void TaskBlocked(const TaskMessage& msg) = 0;
+  virtual void TaskWakeup(const TaskMessage& msg, Schedulable sched) = 0;
+  virtual void TaskNew(const TaskMessage& msg, Schedulable sched) = 0;
+  virtual void TaskPreempt(const TaskMessage& msg, Schedulable sched) = 0;
+  virtual void TaskYield(const TaskMessage& msg, Schedulable sched) = 0;
+
+  // task_departed: the task is leaving this scheduler; return its token.
+  virtual std::optional<Schedulable> TaskDeparted(const TaskMessage& msg) = 0;
+
+  virtual void TaskAffinityChanged(uint64_t pid, const CpuMask& mask) {}
+  virtual void TaskPrioChanged(uint64_t pid, int nice) {}
+
+  // task_tick: periodic timer while `pid` runs on `cpu`.
+  virtual void TaskTick(int cpu, uint64_t pid, Duration runtime) {}
+
+  // A timer armed via EnokiKernelEnv::ArmTimer fired on `cpu`.
+  virtual void TimerFired(int cpu) {}
+
+  // select_task_rq: choose the CPU for a waking or new task.
+  virtual int SelectTaskRq(const TaskMessage& msg) = 0;
+
+  // migrate_task_rq: the task moves CPUs; receive the new token, return the
+  // old one.
+  virtual Schedulable MigrateTaskRq(const MigrateMessage& msg, Schedulable sched) = 0;
+
+  // balance: offer a task (by pid) to move onto `cpu`, or nullopt.
+  virtual std::optional<uint64_t> Balance(int cpu) { return std::nullopt; }
+
+  // balance_err: the offered task could not be moved.
+  virtual void BalanceErr(int cpu, uint64_t pid, std::optional<Schedulable> sched) {}
+
+  // Live upgrade (section 3.2).
+  virtual TransferState ReregisterPrepare() { return {}; }
+  virtual void ReregisterInit(TransferState state) {}
+
+  // Hint queues (section 3.3). The runtime owns the ring buffers and drains
+  // user hints into ParseHint synchronously before scheduling decisions
+  // (enter_queue); these callbacks tell the scheduler which queue ids exist.
+  virtual int RegisterQueue(int queue_id) { return queue_id; }
+  virtual int RegisterReverseQueue(int queue_id) { return queue_id; }
+  virtual void EnterQueue(int queue_id) {}
+  virtual void UnregisterQueue(int queue_id) {}
+  virtual void UnregisterRevQueue(int queue_id) {}
+  virtual void ParseHint(const HintBlob& hint) {}
+
+ protected:
+  EnokiKernelEnv* env_ = nullptr;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_ENOKI_API_H_

@@ -1,0 +1,73 @@
+// Shim locks for Enoki scheduler modules (sections 3.1 and 3.4).
+//
+// Scheduler code synchronizes through these wrappers instead of raw kernel
+// locks. The wrappers delegate to pluggable hooks so the same scheduler code
+// runs unchanged in three modes:
+//  - normal kernel operation: hooks are a no-op (the simulated kernel is
+//    sequential; the mutex below still provides real exclusion when the
+//    module is exercised from real threads);
+//  - record mode: every create/acquire/release is appended to the record
+//    log together with the acquiring kernel-thread id, which is the paper's
+//    mechanism for making concurrent replay deterministic;
+//  - replay mode: acquisition blocks until it is this thread's recorded
+//    turn, reproducing the recorded interleaving exactly.
+
+#ifndef SRC_ENOKI_LOCK_H_
+#define SRC_ENOKI_LOCK_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace enoki {
+
+class LockHooks {
+ public:
+  virtual ~LockHooks() = default;
+  virtual void OnLockCreate(uint64_t lock_id) {}
+  // Called before the underlying mutex is taken; may block (replay mode).
+  virtual void OnLockAcquire(uint64_t lock_id) {}
+  virtual void OnLockRelease(uint64_t lock_id) {}
+};
+
+// Global hook installation. Null means no-op hooks.
+LockHooks* GetLockHooks();
+void SetLockHooks(LockHooks* hooks);
+
+// Identity of the "kernel thread" executing scheduler code on this host
+// thread; the runtime sets it to the CPU id around module calls, and the
+// replay engine sets it to the recorded kernel-thread id.
+int GetCurrentKthread();
+void SetCurrentKthread(int kthread);
+
+uint64_t AllocateLockId();
+
+class SpinLock {
+ public:
+  SpinLock();
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Acquire();
+  void Release();
+  uint64_t id() const { return id_; }
+
+ private:
+  const uint64_t id_;
+  std::mutex mu_;
+};
+
+// RAII guard.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Acquire(); }
+  ~SpinLockGuard() { lock_.Release(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_ENOKI_LOCK_H_

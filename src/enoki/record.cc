@@ -1,0 +1,143 @@
+#include "src/enoki/record.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace enoki {
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kTaskNew:
+      return "task_new";
+    case RecordType::kTaskWakeup:
+      return "task_wakeup";
+    case RecordType::kTaskBlocked:
+      return "task_blocked";
+    case RecordType::kTaskPreempt:
+      return "task_preempt";
+    case RecordType::kTaskYield:
+      return "task_yield";
+    case RecordType::kTaskDead:
+      return "task_dead";
+    case RecordType::kTaskDeparted:
+      return "task_departed";
+    case RecordType::kPickNextTask:
+      return "pick_next_task";
+    case RecordType::kPntErr:
+      return "pnt_err";
+    case RecordType::kSelectTaskRq:
+      return "select_task_rq";
+    case RecordType::kMigrateTaskRq:
+      return "migrate_task_rq";
+    case RecordType::kBalance:
+      return "balance";
+    case RecordType::kBalanceErr:
+      return "balance_err";
+    case RecordType::kTaskTick:
+      return "task_tick";
+    case RecordType::kTimerFired:
+      return "timer_fired";
+    case RecordType::kParseHint:
+      return "parse_hint";
+    case RecordType::kAffinityChanged:
+      return "affinity_changed";
+    case RecordType::kPrioChanged:
+      return "prio_changed";
+    case RecordType::kLockCreate:
+      return "lock_create";
+    case RecordType::kLockAcquire:
+      return "lock_acquire";
+    case RecordType::kLockRelease:
+      return "lock_release";
+  }
+  return "unknown";
+}
+
+Recorder::Recorder(size_t ring_capacity) : ring_(ring_capacity) {}
+
+void Recorder::Append(RecordEntry entry) {
+  entry.seq = next_seq_++;
+  entry.time = time_;
+  entry.kthread = GetCurrentKthread();
+  ++appended_;
+  ring_.Push(entry);
+}
+
+void Recorder::OnLockCreate(uint64_t lock_id) {
+  RecordEntry e;
+  e.type = RecordType::kLockCreate;
+  e.arg[0] = lock_id;
+  Append(e);
+}
+
+void Recorder::OnLockAcquire(uint64_t lock_id) {
+  RecordEntry e;
+  e.type = RecordType::kLockAcquire;
+  e.arg[0] = lock_id;
+  Append(e);
+}
+
+void Recorder::OnLockRelease(uint64_t lock_id) {
+  RecordEntry e;
+  e.type = RecordType::kLockRelease;
+  e.arg[0] = lock_id;
+  Append(e);
+}
+
+size_t Recorder::Drain() {
+  size_t n = 0;
+  while (auto e = ring_.Pop()) {
+    log_.push_back(*e);
+    ++n;
+  }
+  return n;
+}
+
+std::vector<RecordEntry> Recorder::TakeLog() {
+  Drain();
+  return std::move(log_);
+}
+
+bool Recorder::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  for (const RecordEntry& e : log_) {
+    std::fprintf(f,
+                 "%" PRIu64 " %" PRIu64 " %d %u %" PRIu64 " %d %" PRIu64 " %" PRIu64 " %" PRIu64
+                 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %d %d\n",
+                 e.seq, e.time, e.kthread, static_cast<unsigned>(e.type), e.pid, e.cpu, e.runtime,
+                 e.arg[0], e.arg[1], e.arg[2], e.arg[3], e.resp0, e.resp1,
+                 e.has_resp ? 1 : 0, e.flag ? 1 : 0);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool Recorder::LoadFromFile(const std::string& path, std::vector<RecordEntry>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  out->clear();
+  RecordEntry e;
+  unsigned type = 0;
+  int has_resp = 0;
+  int flag = 0;
+  while (std::fscanf(f,
+                     "%" SCNu64 " %" SCNu64 " %d %u %" SCNu64 " %d %" SCNu64 " %" SCNu64
+                     " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64 " %d %d",
+                     &e.seq, &e.time, &e.kthread, &type, &e.pid, &e.cpu, &e.runtime, &e.arg[0],
+                     &e.arg[1], &e.arg[2], &e.arg[3], &e.resp0, &e.resp1, &has_resp,
+                     &flag) == 15) {
+    e.type = static_cast<RecordType>(type);
+    e.has_resp = has_resp != 0;
+    e.flag = flag != 0;
+    out->push_back(e);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace enoki

@@ -1,0 +1,106 @@
+// The Enoki record system (section 3.4).
+//
+// In record mode the runtime appends one RecordEntry per call into the
+// scheduler (with its arguments and response) and the lock shims append one
+// entry per lock create/acquire/release, tagged with the kernel thread id.
+// Entries flow through a ring buffer shared with a userspace record task,
+// which drains them to the log asynchronously — writing cannot happen in
+// scheduler context (interrupts disabled), exactly as in the paper. Buffer
+// overruns drop events and are counted.
+
+#ifndef SRC_ENOKI_RECORD_H_
+#define SRC_ENOKI_RECORD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/time.h"
+#include "src/enoki/lock.h"
+
+namespace enoki {
+
+enum class RecordType : uint8_t {
+  kTaskNew = 1,
+  kTaskWakeup,
+  kTaskBlocked,
+  kTaskPreempt,
+  kTaskYield,
+  kTaskDead,
+  kTaskDeparted,
+  kPickNextTask,
+  kPntErr,
+  kSelectTaskRq,
+  kMigrateTaskRq,
+  kBalance,
+  kBalanceErr,
+  kTaskTick,
+  kTimerFired,
+  kParseHint,
+  kAffinityChanged,
+  kPrioChanged,
+  kLockCreate,
+  kLockAcquire,
+  kLockRelease,
+};
+
+const char* RecordTypeName(RecordType type);
+
+struct RecordEntry {
+  uint64_t seq = 0;
+  Time time = 0;
+  int32_t kthread = 0;
+  RecordType type = RecordType::kTaskNew;
+  uint64_t pid = 0;
+  int32_t cpu = -1;
+  uint64_t runtime = 0;
+  uint64_t arg[4] = {0, 0, 0, 0};
+  uint64_t resp0 = 0;
+  uint64_t resp1 = 0;
+  bool has_resp = false;
+  bool flag = false;  // wake_sync and similar per-type booleans
+};
+
+class Recorder : public LockHooks {
+ public:
+  explicit Recorder(size_t ring_capacity);
+
+  // Producer side (scheduler context): stamps seq/kthread, pushes to ring.
+  void Append(RecordEntry entry);
+
+  // LockHooks: lock events become record entries.
+  void OnLockCreate(uint64_t lock_id) override;
+  void OnLockAcquire(uint64_t lock_id) override;
+  void OnLockRelease(uint64_t lock_id) override;
+
+  // Consumer side (the userspace record task): moves ring contents to the
+  // log. Returns the number of entries drained.
+  size_t Drain();
+
+  // The recorder's notion of "now", set by the runtime before each call so
+  // entries are stamped with simulated time.
+  void SetTime(Time t) { time_ = t; }
+
+  const std::vector<RecordEntry>& log() const { return log_; }
+  std::vector<RecordEntry> TakeLog();
+  uint64_t dropped() const { return ring_.dropped(); }
+  uint64_t appended() const { return appended_; }
+
+  // Text serialization, one entry per line: the record file the replay
+  // utility consumes.
+  bool SaveToFile(const std::string& path) const;
+  static bool LoadFromFile(const std::string& path, std::vector<RecordEntry>* out);
+
+ private:
+  RingBuffer<RecordEntry> ring_;
+  std::vector<RecordEntry> log_;
+  uint64_t next_seq_ = 1;
+  uint64_t appended_ = 0;
+  Time time_ = 0;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_ENOKI_RECORD_H_

@@ -1,0 +1,431 @@
+#include "src/enoki/runtime.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace enoki {
+
+EnokiRuntime::EnokiRuntime(std::unique_ptr<EnokiSched> module) : module_(std::move(module)) {
+  ENOKI_CHECK(module_ != nullptr);
+}
+
+EnokiRuntime::~EnokiRuntime() = default;
+
+void EnokiRuntime::Attach(SchedCore* core) {
+  SchedClass::Attach(core);
+  queued_.resize(static_cast<size_t>(core->ncpus()));
+  running_.assign(static_cast<size_t>(core->ncpus()), 0);
+  module_->Attach(this);
+}
+
+TaskMessage EnokiRuntime::MakeMsg(const Task* t, int cpu, bool wake_sync) const {
+  TaskMessage msg;
+  msg.pid = t->pid();
+  msg.cpu = cpu;
+  msg.prev_cpu = t->cpu();
+  msg.runtime = core_->TaskRuntime(t);
+  msg.nice = t->nice();
+  msg.wake_sync = wake_sync;
+  return msg;
+}
+
+Schedulable EnokiRuntime::Mint(Task* t, int cpu) {
+  // Bumping the generation invalidates every token previously minted for
+  // this task: the scheduler must use the newest proof.
+  ++t->token_generation_;
+  return SchedulableMinter::Mint(t->pid(), cpu, t->token_generation_);
+}
+
+bool EnokiRuntime::ValidateForRun(const Schedulable& s, int cpu, Task** out_task) const {
+  if (!s.valid()) {
+    return false;
+  }
+  Task* t = core_->FindTask(s.pid());
+  if (t == nullptr || t->state() != TaskState::kRunnable) {
+    return false;
+  }
+  if (s.cpu() != cpu || t->cpu() != cpu) {
+    return false;
+  }
+  if (SchedulableMinter::Generation(s) != t->token_generation_) {
+    return false;
+  }
+  if (queued_[cpu].count(s.pid()) == 0) {
+    return false;
+  }
+  *out_task = t;
+  return true;
+}
+
+void EnokiRuntime::Charge(int cpu) {
+  ++module_calls_;
+  Duration cost = core_->costs().enoki_call_ns;
+  if (recorder_ != nullptr) {
+    cost += core_->costs().enoki_record_ns;
+  }
+  core_->ChargeCpu(cpu, cost);
+}
+
+void EnokiRuntime::Record(RecordEntry entry) {
+  if (recorder_ != nullptr) {
+    recorder_->SetTime(core_->now());
+    recorder_->Append(entry);
+  }
+}
+
+void EnokiRuntime::DrainHints() {
+  for (size_t qid = 0; qid < user_queues_.size(); ++qid) {
+    HintQueue* q = user_queues_[qid].get();
+    if (q == nullptr) {
+      continue;
+    }
+    while (auto hint = q->Pop()) {
+      RecordEntry e;
+      e.type = RecordType::kParseHint;
+      e.arg[0] = hint->w[0];
+      e.arg[1] = hint->w[1];
+      e.arg[2] = hint->w[2];
+      e.arg[3] = hint->w[3];
+      Record(e);
+      module_->ParseHint(*hint);
+    }
+  }
+}
+
+int EnokiRuntime::SelectTaskRq(Task* t, int prev_cpu, bool wake_sync, bool is_new) {
+  DrainHints();
+  SetCurrentKthread(prev_cpu >= 0 ? prev_cpu : 0);
+  TaskMessage msg = MakeMsg(t, prev_cpu, wake_sync);
+  msg.is_new = is_new;
+  Charge(prev_cpu >= 0 ? prev_cpu : 0);
+  const int cpu = module_->SelectTaskRq(msg);
+  RecordEntry e;
+  e.type = RecordType::kSelectTaskRq;
+  e.pid = t->pid();
+  e.cpu = prev_cpu;
+  e.runtime = msg.runtime;
+  e.flag = wake_sync;
+  e.arg[0] = static_cast<uint64_t>(t->nice() - kMinNice);
+  e.arg[1] = is_new ? 1 : 0;
+  e.has_resp = true;
+  e.resp0 = static_cast<uint64_t>(cpu);
+  Record(e);
+  if (cpu < 0 || cpu >= core_->ncpus() || !t->affinity().Test(cpu)) {
+    ENOKI_DEBUG("enoki: module chose invalid cpu %d for pid %llu", cpu,
+               static_cast<unsigned long long>(t->pid()));
+    return t->affinity().Test(prev_cpu) ? prev_cpu : t->affinity().First();
+  }
+  return cpu;
+}
+
+void EnokiRuntime::EnqueueTask(int cpu, Task* t, bool wakeup) {
+  SetCurrentKthread(cpu);
+  queued_[cpu].insert(t->pid());
+  TaskMessage msg = MakeMsg(t, cpu);
+  Charge(cpu);
+  RecordEntry e;
+  e.type = wakeup ? RecordType::kTaskWakeup : RecordType::kTaskNew;
+  e.pid = t->pid();
+  e.cpu = cpu;
+  e.runtime = msg.runtime;
+  e.arg[0] = static_cast<uint64_t>(t->nice() - kMinNice);
+  Record(e);
+  if (wakeup) {
+    module_->TaskWakeup(msg, Mint(t, cpu));
+  } else {
+    module_->TaskNew(msg, Mint(t, cpu));
+  }
+}
+
+void EnokiRuntime::DequeueTask(int cpu, Task* t, DequeueReason reason) {
+  SetCurrentKthread(cpu);
+  if (running_[cpu] == t->pid()) {
+    running_[cpu] = 0;
+  } else {
+    queued_[cpu].erase(t->pid());
+  }
+  // Invalidate any token the module still holds for this task.
+  ++t->token_generation_;
+  TaskMessage msg = MakeMsg(t, cpu);
+  Charge(cpu);
+  RecordEntry e;
+  e.pid = t->pid();
+  e.cpu = cpu;
+  e.runtime = msg.runtime;
+  switch (reason) {
+    case DequeueReason::kBlocked:
+      e.type = RecordType::kTaskBlocked;
+      Record(e);
+      module_->TaskBlocked(msg);
+      break;
+    case DequeueReason::kDead:
+      e.type = RecordType::kTaskDead;
+      Record(e);
+      module_->TaskDead(t->pid());
+      break;
+    case DequeueReason::kDeparted: {
+      e.type = RecordType::kTaskDeparted;
+      auto token = module_->TaskDeparted(msg);
+      e.has_resp = true;
+      e.resp0 = token.has_value() ? token->pid() : 0;
+      Record(e);
+      if (!token.has_value() || token->pid() != t->pid()) {
+        ENOKI_WARN("enoki: task_departed returned wrong token for pid %llu",
+                   static_cast<unsigned long long>(t->pid()));
+      }
+      break;
+    }
+  }
+}
+
+Task* EnokiRuntime::PickNextTask(int cpu) {
+  DrainHints();
+  SetCurrentKthread(cpu);
+  Charge(cpu);
+  auto token = module_->PickNextTask(cpu, std::nullopt);
+  RecordEntry e;
+  e.type = RecordType::kPickNextTask;
+  e.cpu = cpu;
+  e.has_resp = true;
+  e.resp0 = token.has_value() ? token->pid() : 0;
+  Record(e);
+  if (!token.has_value()) {
+    return nullptr;
+  }
+  Task* t = nullptr;
+  if (!ValidateForRun(*token, cpu, &t)) {
+    // The module tried to run a task that is not safely runnable on this
+    // CPU. In Linux this would crash the kernel; Enoki catches it and hands
+    // the token back through pnt_err (section 3.1).
+    ++pick_errors_;
+    core_->CountPickError();
+    RecordEntry err;
+    err.type = RecordType::kPntErr;
+    err.cpu = cpu;
+    err.pid = token->pid();
+    Record(err);
+    Charge(cpu);
+    module_->PntErr(cpu, std::move(token));
+    return nullptr;
+  }
+  // Consume the proof: the token the module returned is spent.
+  ++t->token_generation_;
+  queued_[cpu].erase(t->pid());
+  running_[cpu] = t->pid();
+  return t;
+}
+
+void EnokiRuntime::TaskPreempted(int cpu, Task* t) {
+  SetCurrentKthread(cpu);
+  if (running_[cpu] == t->pid()) {
+    running_[cpu] = 0;
+  }
+  queued_[cpu].insert(t->pid());
+  TaskMessage msg = MakeMsg(t, cpu);
+  Charge(cpu);
+  RecordEntry e;
+  e.type = RecordType::kTaskPreempt;
+  e.pid = t->pid();
+  e.cpu = cpu;
+  e.runtime = msg.runtime;
+  Record(e);
+  module_->TaskPreempt(msg, Mint(t, cpu));
+}
+
+void EnokiRuntime::TaskYielded(int cpu, Task* t) {
+  SetCurrentKthread(cpu);
+  if (running_[cpu] == t->pid()) {
+    running_[cpu] = 0;
+  }
+  queued_[cpu].insert(t->pid());
+  TaskMessage msg = MakeMsg(t, cpu);
+  Charge(cpu);
+  RecordEntry e;
+  e.type = RecordType::kTaskYield;
+  e.pid = t->pid();
+  e.cpu = cpu;
+  e.runtime = msg.runtime;
+  Record(e);
+  module_->TaskYield(msg, Mint(t, cpu));
+}
+
+void EnokiRuntime::TaskTick(int cpu, Task* t) {
+  // enter_queue: hints are also drained on the tick path so they stay
+  // timely even when no scheduling decisions are pending.
+  DrainHints();
+  SetCurrentKthread(cpu);
+  Charge(cpu);
+  const Duration runtime = core_->TaskRuntime(t);
+  RecordEntry e;
+  e.type = RecordType::kTaskTick;
+  e.pid = t->pid();
+  e.cpu = cpu;
+  e.runtime = runtime;
+  Record(e);
+  module_->TaskTick(cpu, t->pid(), runtime);
+}
+
+bool EnokiRuntime::Balance(int cpu) {
+  SetCurrentKthread(cpu);
+  Charge(cpu);
+  auto pid = module_->Balance(cpu);
+  RecordEntry e;
+  e.type = RecordType::kBalance;
+  e.cpu = cpu;
+  e.has_resp = true;
+  e.resp0 = pid.value_or(0);
+  Record(e);
+  if (!pid.has_value()) {
+    return false;
+  }
+  Task* t = core_->FindTask(*pid);
+  const bool movable = t != nullptr && t->state() == TaskState::kRunnable && t->cpu() != cpu &&
+                       queued_[t->cpu()].count(*pid) > 0 && t->affinity().Test(cpu) &&
+                       !core_->CpuKickPending(t->cpu());
+  if (!movable) {
+    ++balance_errors_;
+    RecordEntry err;
+    err.type = RecordType::kBalanceErr;
+    err.cpu = cpu;
+    err.pid = *pid;
+    Record(err);
+    Charge(cpu);
+    module_->BalanceErr(cpu, *pid, std::nullopt);
+    return false;
+  }
+  const int from = t->cpu();
+  queued_[from].erase(*pid);
+  MigrateMessage mig;
+  mig.pid = *pid;
+  mig.from_cpu = from;
+  mig.to_cpu = cpu;
+  mig.runtime = core_->TaskRuntime(t);
+  Charge(cpu);
+  Schedulable old_token = module_->MigrateTaskRq(mig, Mint(t, cpu));
+  RecordEntry me;
+  me.type = RecordType::kMigrateTaskRq;
+  me.pid = *pid;
+  me.cpu = cpu;
+  me.arg[0] = static_cast<uint64_t>(from);
+  me.has_resp = true;
+  me.resp0 = old_token.valid() ? old_token.pid() : 0;
+  Record(me);
+  if (!old_token.valid() || old_token.pid() != *pid) {
+    // Best-effort check: the paper notes the old token cannot be fully
+    // validated (section 3.1).
+    ENOKI_WARN("enoki: migrate_task_rq returned unexpected token for pid %llu",
+               static_cast<unsigned long long>(*pid));
+  }
+  core_->MoveQueuedTask(t, cpu);
+  queued_[cpu].insert(*pid);
+  return true;
+}
+
+void EnokiRuntime::TimerFired(int cpu) {
+  SetCurrentKthread(cpu);
+  Charge(cpu);
+  RecordEntry e;
+  e.type = RecordType::kTimerFired;
+  e.cpu = cpu;
+  Record(e);
+  module_->TimerFired(cpu);
+}
+
+void EnokiRuntime::AffinityChanged(Task* t) {
+  Charge(t->cpu());
+  RecordEntry e;
+  e.type = RecordType::kAffinityChanged;
+  e.pid = t->pid();
+  e.arg[0] = t->affinity().word(0);
+  e.arg[1] = t->affinity().word(1);
+  Record(e);
+  module_->TaskAffinityChanged(t->pid(), t->affinity());
+}
+
+void EnokiRuntime::PrioChanged(Task* t) {
+  Charge(t->cpu());
+  RecordEntry e;
+  e.type = RecordType::kPrioChanged;
+  e.pid = t->pid();
+  e.arg[0] = static_cast<uint64_t>(t->nice() - kMinNice);
+  Record(e);
+  module_->TaskPrioChanged(t->pid(), t->nice());
+}
+
+Time EnokiRuntime::Now() const { return core_->now(); }
+int EnokiRuntime::NumCpus() const { return core_->ncpus(); }
+int EnokiRuntime::NodeOf(int cpu) const { return core_->NodeOf(cpu); }
+
+void EnokiRuntime::ArmTimer(int cpu, Duration delay) {
+  core_->ChargeCpu(cpu, core_->costs().timer_arm_ns);
+  core_->ArmClassTimer(cpu, delay, this);
+}
+
+void EnokiRuntime::ReschedCpu(int cpu) { core_->KickCpu(cpu); }
+
+void EnokiRuntime::PushRevHint(int queue_id, const HintBlob& hint) {
+  ENOKI_CHECK(queue_id >= 0 && queue_id < static_cast<int>(rev_queues_.size()));
+  rev_queues_[queue_id]->Push(hint);
+}
+
+int EnokiRuntime::CreateHintQueue(size_t capacity) {
+  user_queues_.push_back(std::make_unique<HintQueue>(capacity));
+  const int id = static_cast<int>(user_queues_.size()) - 1;
+  module_->RegisterQueue(id);
+  return id;
+}
+
+int EnokiRuntime::CreateRevQueue(size_t capacity) {
+  rev_queues_.push_back(std::make_unique<HintQueue>(capacity));
+  const int id = static_cast<int>(rev_queues_.size()) - 1;
+  module_->RegisterReverseQueue(id);
+  return id;
+}
+
+bool EnokiRuntime::SendHint(int queue_id, const HintBlob& hint, int cpu) {
+  ENOKI_CHECK(queue_id >= 0 && queue_id < static_cast<int>(user_queues_.size()));
+  if (cpu >= 0) {
+    core_->ChargeCpu(cpu, core_->costs().hint_write_ns);
+  }
+  const bool ok = user_queues_[queue_id]->Push(hint);
+  // enter_queue: the write side kicks the kernel so the hint is parsed at
+  // the next scheduler entry even on an otherwise quiet system.
+  core_->loop().ScheduleAfter(core_->costs().hint_write_ns, [this] { DrainHints(); });
+  return ok;
+}
+
+std::optional<HintBlob> EnokiRuntime::PollRevHint(int queue_id) {
+  ENOKI_CHECK(queue_id >= 0 && queue_id < static_cast<int>(rev_queues_.size()));
+  return rev_queues_[queue_id]->Pop();
+}
+
+UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next) {
+  UpgradeReport report;
+  if (next == nullptr) {
+    report.error = "null module";
+    return report;
+  }
+  const SimCosts& costs = core_->costs();
+  // Quiesce: acquire the per-scheduler read-write lock in write mode. The
+  // pause is the reader drain (one in-flight call per CPU in the worst
+  // case), the prepare/init calls, and the pointer swap.
+  Duration pause = costs.upgrade_swap_ns + 2 * costs.enoki_call_ns;
+  pause += static_cast<Duration>(core_->ncpus()) * costs.upgrade_percpu_drain_ns;
+
+  TransferState state = module_->ReregisterPrepare();
+  next->Attach(this);
+  next->ReregisterInit(std::move(state));
+  module_ = std::move(next);
+  ++upgrades_;
+
+  // Every CPU's next scheduling operation is delayed by the blackout.
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    core_->ChargeCpu(cpu, pause);
+  }
+  report.ok = true;
+  report.pause_ns = pause;
+  return report;
+}
+
+}  // namespace enoki

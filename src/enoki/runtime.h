@@ -1,0 +1,121 @@
+// EnokiRuntime: the Enoki-C analog (section 3).
+//
+// The runtime sits between the simulated kernel's scheduling-class dispatch
+// and a loaded EnokiSched module. It owns everything the paper assigns to
+// Enoki-C plus the unsafe parts of libEnoki:
+//  - translating core-scheduler callbacks into value messages,
+//  - minting and validating Schedulable tokens (section 3.1),
+//  - maintaining the kernel-side run-queue bookkeeping (which task is queued
+//    where) that modules must never touch,
+//  - charging the framework's per-invocation overhead to the cost model,
+//  - hint queues in both directions (section 3.3),
+//  - live upgrade with quiesce and state transfer (section 3.2), and
+//  - appending record entries in record mode (section 3.4).
+
+#ifndef SRC_ENOKI_RUNTIME_H_
+#define SRC_ENOKI_RUNTIME_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/enoki/api.h"
+#include "src/enoki/record.h"
+#include "src/simkernel/sched_class.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+struct UpgradeReport {
+  bool ok = false;
+  Duration pause_ns = 0;
+  std::string error;
+};
+
+class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
+ public:
+  explicit EnokiRuntime(std::unique_ptr<EnokiSched> module);
+  ~EnokiRuntime() override;
+
+  // ---- SchedClass (calls from the simulated kernel) ----
+  const char* name() const override { return "enoki"; }
+  void Attach(SchedCore* core) override;
+  int SelectTaskRq(Task* t, int prev_cpu, bool wake_sync, bool is_new) override;
+  void EnqueueTask(int cpu, Task* t, bool wakeup) override;
+  void DequeueTask(int cpu, Task* t, DequeueReason reason) override;
+  Task* PickNextTask(int cpu) override;
+  void TaskPreempted(int cpu, Task* t) override;
+  void TaskYielded(int cpu, Task* t) override;
+  void TaskTick(int cpu, Task* t) override;
+  bool Balance(int cpu) override;
+  bool WantsBalanceBeforePick() const override { return true; }
+  void TimerFired(int cpu) override;
+  void AffinityChanged(Task* t) override;
+  void PrioChanged(Task* t) override;
+
+  // ---- EnokiKernelEnv (services for the module) ----
+  Time Now() const override;
+  int NumCpus() const override;
+  int NodeOf(int cpu) const override;
+  void ArmTimer(int cpu, Duration delay) override;
+  void ReschedCpu(int cpu) override;
+  void PushRevHint(int queue_id, const HintBlob& hint) override;
+
+  // ---- Hint queues (userspace side) ----
+  // Creates a user->kernel queue and registers it with the module.
+  int CreateHintQueue(size_t capacity);
+  // Creates a kernel->user queue and registers it with the module.
+  int CreateRevQueue(size_t capacity);
+  // Userspace writes a hint. `cpu` attributes the write cost (pass the
+  // sending task's CPU, or -1 to skip charging).
+  bool SendHint(int queue_id, const HintBlob& hint, int cpu = -1);
+  // Userspace polls a kernel->user queue.
+  std::optional<HintBlob> PollRevHint(int queue_id);
+
+  // ---- Live upgrade (section 3.2) ----
+  UpgradeReport Upgrade(std::unique_ptr<EnokiSched> next);
+
+  // ---- Record mode (section 3.4) ----
+  void SetRecorder(Recorder* recorder) { recorder_ = recorder; }
+  Recorder* recorder() const { return recorder_; }
+
+  // ---- Introspection ----
+  EnokiSched* module() const { return module_.get(); }
+  uint64_t module_calls() const { return module_calls_; }
+  uint64_t pick_errors() const { return pick_errors_; }
+  uint64_t balance_errors() const { return balance_errors_; }
+  uint64_t upgrades() const { return upgrades_; }
+  size_t QueuedCount(int cpu) const { return queued_[cpu].size(); }
+
+ private:
+  TaskMessage MakeMsg(const Task* t, int cpu, bool wake_sync = false) const;
+  Schedulable Mint(Task* t, int cpu);
+  // Validates a token a module returned for running on `cpu`.
+  bool ValidateForRun(const Schedulable& s, int cpu, Task** out_task) const;
+  void Charge(int cpu);
+  void Record(RecordEntry entry);
+  void DrainHints();
+
+  std::unique_ptr<EnokiSched> module_;
+  Recorder* recorder_ = nullptr;
+
+  // Kernel-side run-queue bookkeeping: pids queued (runnable, not running)
+  // per CPU, and the pid running per CPU (0 = none / other class).
+  std::vector<std::unordered_set<uint64_t>> queued_;
+  std::vector<uint64_t> running_;
+
+  std::vector<std::unique_ptr<HintQueue>> user_queues_;
+  std::vector<std::unique_ptr<HintQueue>> rev_queues_;
+
+  uint64_t module_calls_ = 0;
+  uint64_t pick_errors_ = 0;
+  uint64_t balance_errors_ = 0;
+  uint64_t upgrades_ = 0;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_ENOKI_RUNTIME_H_

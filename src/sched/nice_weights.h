@@ -1,0 +1,39 @@
+// The Linux nice-to-weight table (kernel/sched/core.c sched_prio_to_weight):
+// each nice step changes CPU share by ~1.25x; nice 0 = 1024.
+
+#ifndef SRC_SCHED_NICE_WEIGHTS_H_
+#define SRC_SCHED_NICE_WEIGHTS_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+#include "src/base/niceness.h"
+
+namespace enoki {
+
+constexpr uint64_t kNiceWeights[40] = {
+    // -20 .. -11
+    88761, 71755, 56483, 46273, 36291, 29154, 23254, 18705, 14949, 11916,
+    // -10 .. -1
+    9548, 7620, 6100, 4904, 3906, 3121, 2501, 1991, 1586, 1277,
+    // 0 .. 9
+    1024, 820, 655, 526, 423, 335, 272, 215, 172, 137,
+    // 10 .. 19
+    110, 87, 70, 56, 45, 36, 29, 23, 18, 15,
+};
+
+constexpr uint64_t kNice0Weight = 1024;
+
+inline uint64_t NiceToWeight(int nice) {
+  ENOKI_CHECK(nice >= kMinNice && nice <= kMaxNice);
+  return kNiceWeights[nice - kMinNice];
+}
+
+// Converts a runtime delta into vruntime units for the given weight.
+inline uint64_t CalcDeltaVruntime(uint64_t delta_ns, uint64_t weight) {
+  return delta_ns * kNice0Weight / weight;
+}
+
+}  // namespace enoki
+
+#endif  // SRC_SCHED_NICE_WEIGHTS_H_

@@ -1,0 +1,289 @@
+// The Enoki Shinjuku scheduler (section 4.2.2): an approximation of a
+// centralized first-come-first-serve queue with microsecond-scale preemption,
+// implemented across the kernel's per-CPU run queues.
+//
+// Tasks carry a global arrival sequence number. Each CPU queue is FIFO; the
+// balance callback pulls the globally oldest waiting task onto an emptying
+// CPU, approximating a single FCFS queue. Every operation arms a reschedule
+// timer (default 10 us, the paper's slice); when it fires with work waiting,
+// the running task is preempted and requeued at the tail — Shinjuku's
+// preempt-and-requeue loop that keeps short tasks from waiting behind long
+// ones.
+
+#ifndef SRC_SCHED_SHINJUKU_H_
+#define SRC_SCHED_SHINJUKU_H_
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/enoki/api.h"
+#include "src/enoki/lock.h"
+
+namespace enoki {
+
+class ShinjukuSched : public EnokiSched {
+ public:
+  static constexpr Duration kDefaultPreemptionSliceNs = 10'000;  // 10 us
+
+  // `worker_cpus` restricts placement and stealing to a subset of CPUs (the
+  // paper's evaluation reserves cores for the load generator and background
+  // work); an empty mask means all CPUs.
+  explicit ShinjukuSched(int policy_id, Duration preemption_slice = kDefaultPreemptionSliceNs,
+                         CpuMask worker_cpus = CpuMask())
+      : policy_id_(policy_id), slice_(preemption_slice), worker_cpus_(worker_cpus) {}
+
+  void Attach(EnokiKernelEnv* env) override {
+    EnokiSched::Attach(env);
+    if (worker_cpus_.Empty()) {
+      worker_cpus_ = CpuMask::All(env->NumCpus());
+    }
+    if (queues_.empty()) {
+      const size_t n = static_cast<size_t>(env->NumCpus());
+      queues_.resize(n);
+      timer_armed_.assign(n, false);
+      running_.assign(n, 0);
+    }
+  }
+
+  int GetPolicy() const override { return policy_id_; }
+
+  int SelectTaskRq(const TaskMessage& msg) override {
+    SpinLockGuard g(lock_);
+    // Shortest worker queue; FCFS order is restored globally by Balance.
+    int best = -1;
+    size_t best_len = ~size_t{0};
+    for (int cpu = 0; cpu < static_cast<int>(queues_.size()); ++cpu) {
+      if (!worker_cpus_.Test(cpu)) {
+        continue;
+      }
+      const size_t len = queues_[cpu].size() + (running_[cpu] != 0 ? 1 : 0);
+      if (len < best_len) {
+        best_len = len;
+        best = cpu;
+      }
+    }
+    return best >= 0 ? best : (msg.prev_cpu >= 0 ? msg.prev_cpu : 0);
+  }
+
+  void TaskNew(const TaskMessage& msg, Schedulable sched) override { Arrive(msg.pid, std::move(sched)); }
+  void TaskWakeup(const TaskMessage& msg, Schedulable sched) override {
+    Arrive(msg.pid, std::move(sched));
+  }
+
+  // Preempted and yielding tasks go to the back of the FCFS order.
+  void TaskPreempt(const TaskMessage& msg, Schedulable sched) override {
+    Arrive(msg.pid, std::move(sched));
+  }
+  void TaskYield(const TaskMessage& msg, Schedulable sched) override {
+    Arrive(msg.pid, std::move(sched));
+  }
+
+  void TaskBlocked(const TaskMessage& msg) override { Remove(msg.pid); }
+  void TaskDead(uint64_t pid) override { Remove(pid); }
+
+  std::optional<Schedulable> TaskDeparted(const TaskMessage& msg) override {
+    SpinLockGuard g(lock_);
+    RemoveLocked(msg.pid);
+    auto it = tokens_.find(msg.pid);
+    if (it == tokens_.end()) {
+      return std::nullopt;
+    }
+    Schedulable s = std::move(it->second);
+    tokens_.erase(it);
+    return s;
+  }
+
+  std::optional<Schedulable> PickNextTask(int cpu, std::optional<Schedulable> curr) override {
+    SpinLockGuard g(lock_);
+    running_[cpu] = 0;
+    auto& q = queues_[cpu];
+    if (q.empty()) {
+      return std::nullopt;
+    }
+    const uint64_t pid = q.front().pid;
+    q.pop_front();
+    auto it = tokens_.find(pid);
+    if (it == tokens_.end()) {
+      return std::nullopt;
+    }
+    Schedulable s = std::move(it->second);
+    tokens_.erase(it);
+    running_[cpu] = pid;
+    ArmLocked(cpu);
+    return s;
+  }
+
+  std::optional<uint64_t> Balance(int cpu) override {
+    SpinLockGuard g(lock_);
+    if (!queues_[cpu].empty()) {
+      return std::nullopt;
+    }
+    // Pull the globally oldest waiting task (FCFS approximation).
+    int oldest_cpu = -1;
+    uint64_t oldest_seq = ~0ull;
+    for (int c = 0; c < static_cast<int>(queues_.size()); ++c) {
+      if (c != cpu && !queues_[c].empty() && queues_[c].front().seq < oldest_seq) {
+        oldest_seq = queues_[c].front().seq;
+        oldest_cpu = c;
+      }
+    }
+    if (oldest_cpu < 0) {
+      return std::nullopt;
+    }
+    return queues_[oldest_cpu].front().pid;
+  }
+
+  Schedulable MigrateTaskRq(const MigrateMessage& msg, Schedulable sched) override {
+    SpinLockGuard g(lock_);
+    uint64_t seq = next_seq_;  // fallback: treat as fresh arrival
+    for (auto& q : queues_) {
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->pid == msg.pid) {
+          seq = it->seq;
+          q.erase(it);
+          goto moved;
+        }
+      }
+    }
+  moved:
+    queues_[msg.to_cpu].push_back(Waiting{msg.pid, seq});
+    SortQueueLocked(msg.to_cpu);
+    auto it = tokens_.find(msg.pid);
+    ENOKI_CHECK(it != tokens_.end());
+    Schedulable old = std::move(it->second);
+    it->second = std::move(sched);
+    return old;
+  }
+
+  void TimerFired(int cpu) override {
+    SpinLockGuard g(lock_);
+    timer_armed_[cpu] = false;
+    if (running_[cpu] != 0 && !queues_[cpu].empty()) {
+      // Preempt-and-requeue: the slice expired with work waiting.
+      env_->ReschedCpu(cpu);
+      ArmLocked(cpu);
+    }
+    // With nothing waiting the timer stays quiet; the next arrival re-arms
+    // it. This keeps the preemption machinery off the fast path at low
+    // load, like Shinjuku's dispatcher.
+  }
+
+  void TaskTick(int cpu, uint64_t pid, Duration runtime) override {
+    // The Shinjuku timer, not the system tick, drives preemption; the tick
+    // re-arms the timer defensively in case it was lost.
+    SpinLockGuard g(lock_);
+    if (running_[cpu] != 0 && !queues_[cpu].empty()) {
+      ArmLocked(cpu);
+    }
+  }
+
+  TransferState ReregisterPrepare() override;
+  void ReregisterInit(TransferState state) override;
+
+  size_t QueueDepth(int cpu) {
+    SpinLockGuard g(lock_);
+    return queues_[cpu].size();
+  }
+
+  struct Waiting {
+    uint64_t pid;
+    uint64_t seq;
+  };
+
+  struct Transfer {
+    std::vector<std::deque<Waiting>> queues;
+    std::unordered_map<uint64_t, Schedulable> tokens;
+    std::vector<uint64_t> running;
+    uint64_t next_seq = 0;
+  };
+
+ private:
+  void Arrive(uint64_t pid, Schedulable sched) {
+    SpinLockGuard g(lock_);
+    const int cpu = sched.cpu();
+    queues_[cpu].push_back(Waiting{pid, next_seq_++});
+    tokens_.insert_or_assign(pid, std::move(sched));
+    // Every operation starts a reschedule timer (section 5.2 notes this is
+    // why Shinjuku's pipe latency is slightly above WFQ's).
+    ArmLocked(cpu);
+  }
+
+  void Remove(uint64_t pid) {
+    SpinLockGuard g(lock_);
+    RemoveLocked(pid);
+    tokens_.erase(pid);
+  }
+
+  void RemoveLocked(uint64_t pid) {
+    for (int c = 0; c < static_cast<int>(queues_.size()); ++c) {
+      if (running_[c] == pid) {
+        running_[c] = 0;
+      }
+      auto& q = queues_[c];
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->pid == pid) {
+          q.erase(it);
+          return;
+        }
+      }
+    }
+  }
+
+  void SortQueueLocked(int cpu) {
+    auto& q = queues_[cpu];
+    std::sort(q.begin(), q.end(),
+              [](const Waiting& a, const Waiting& b) { return a.seq < b.seq; });
+  }
+
+  void ArmLocked(int cpu) {
+    if (!timer_armed_[cpu]) {
+      timer_armed_[cpu] = true;
+      env_->ArmTimer(cpu, slice_);
+    }
+  }
+
+  const int policy_id_;
+  const Duration slice_;
+  CpuMask worker_cpus_;
+  SpinLock lock_;
+  std::vector<std::deque<Waiting>> queues_;
+  std::unordered_map<uint64_t, Schedulable> tokens_;
+  std::vector<uint64_t> running_;  // pid running per cpu, 0 = none
+  std::vector<bool> timer_armed_;
+  uint64_t next_seq_ = 1;
+};
+
+inline TransferState ShinjukuSched::ReregisterPrepare() {
+  SpinLockGuard g(lock_);
+  auto t = std::make_unique<Transfer>();
+  t->queues = std::move(queues_);
+  t->tokens = std::move(tokens_);
+  t->running = std::move(running_);
+  t->next_seq = next_seq_;
+  queues_.clear();
+  tokens_.clear();
+  running_.clear();
+  return TransferState::Of(std::move(t));
+}
+
+inline void ShinjukuSched::ReregisterInit(TransferState state) {
+  if (state.empty()) {
+    return;
+  }
+  auto t = state.Take<Transfer>();
+  if (t == nullptr) {
+    return;
+  }
+  SpinLockGuard g(lock_);
+  queues_ = std::move(t->queues);
+  tokens_ = std::move(t->tokens);
+  running_ = std::move(t->running);
+  next_seq_ = t->next_seq;
+}
+
+}  // namespace enoki
+
+#endif  // SRC_SCHED_SHINJUKU_H_

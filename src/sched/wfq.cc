@@ -1,0 +1,288 @@
+#include "src/sched/wfq.h"
+
+#include <algorithm>
+
+namespace enoki {
+
+void WfqSched::Account(Entity& e, Duration runtime) {
+  if (runtime > e.last_runtime) {
+    e.vruntime += CalcDeltaVruntime(runtime - e.last_runtime, e.weight);
+    e.last_runtime = runtime;
+  }
+}
+
+void WfqSched::EnqueueLocked(uint64_t pid, Entity& e, int cpu) {
+  e.cpu = cpu;
+  e.queued = true;
+  e.running = false;
+  queues_[cpu].emplace(e.vruntime, pid);
+}
+
+void WfqSched::DequeueLocked(uint64_t pid, Entity& e) {
+  if (!e.queued) {
+    return;
+  }
+  auto& q = queues_[e.cpu];
+  auto range = q.equal_range(e.vruntime);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == pid) {
+      q.erase(it);
+      break;
+    }
+  }
+  e.queued = false;
+}
+
+int WfqSched::SelectTaskRq(const TaskMessage& msg) {
+  SpinLockGuard g(lock_);
+  if (msg.is_new) {
+    // New tasks: shortest queue (counting the running task as load).
+    int best = 0;
+    size_t best_len = ~size_t{0};
+    for (int cpu = 0; cpu < static_cast<int>(queues_.size()); ++cpu) {
+      size_t len = queues_[cpu].size();
+      for (const auto& [pid, e] : entities_) {
+        if (e.running && e.cpu == cpu) {
+          ++len;
+          break;
+        }
+      }
+      if (len < best_len) {
+        best_len = len;
+        best = cpu;
+      }
+    }
+    return best;
+  }
+  // Waking tasks return to their previous CPU; stealing evens things out.
+  return msg.prev_cpu >= 0 ? msg.prev_cpu : 0;
+}
+
+void WfqSched::TaskNew(const TaskMessage& msg, Schedulable sched) {
+  SpinLockGuard g(lock_);
+  Entity e;
+  e.weight = NiceToWeight(msg.nice);
+  e.last_runtime = msg.runtime;
+  e.vruntime = min_vruntime_[sched.cpu()];
+  const int cpu = sched.cpu();
+  const uint64_t pid = msg.pid;
+  auto [it, inserted] = entities_.insert_or_assign(pid, e);
+  EnqueueLocked(pid, it->second, cpu);
+  tokens_.insert_or_assign(pid, std::move(sched));
+}
+
+void WfqSched::TaskWakeup(const TaskMessage& msg, Schedulable sched) {
+  RequeueRunnable(msg, std::move(sched), /*clamp_vruntime=*/true);
+}
+
+void WfqSched::TaskPreempt(const TaskMessage& msg, Schedulable sched) {
+  RequeueRunnable(msg, std::move(sched), /*clamp_vruntime=*/false);
+}
+
+void WfqSched::TaskYield(const TaskMessage& msg, Schedulable sched) {
+  RequeueRunnable(msg, std::move(sched), /*clamp_vruntime=*/false);
+}
+
+void WfqSched::RequeueRunnable(const TaskMessage& msg, Schedulable sched, bool clamp_vruntime) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(msg.pid);
+  if (it == entities_.end()) {
+    // First sighting (e.g. after an upgrade with partial state): adopt it.
+    Entity e;
+    e.weight = NiceToWeight(msg.nice);
+    e.last_runtime = msg.runtime;
+    it = entities_.insert_or_assign(msg.pid, e).first;
+  }
+  Entity& e = it->second;
+  Account(e, msg.runtime);
+  const int cpu = sched.cpu();
+  if (clamp_vruntime) {
+    // Sleeper fairness: a long sleep must not turn into a large vruntime
+    // credit. Minimum is min_vruntime - sched_latency (section 4.2.1).
+    const uint64_t floor_vr = min_vruntime_[cpu] > kSchedLatencyNs
+                                  ? min_vruntime_[cpu] - kSchedLatencyNs
+                                  : 0;
+    e.vruntime = std::max(e.vruntime, floor_vr);
+  }
+  DequeueLocked(msg.pid, e);
+  EnqueueLocked(msg.pid, e, cpu);
+  tokens_.insert_or_assign(msg.pid, std::move(sched));
+}
+
+void WfqSched::TaskBlocked(const TaskMessage& msg) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(msg.pid);
+  if (it == entities_.end()) {
+    return;
+  }
+  Account(it->second, msg.runtime);
+  DequeueLocked(msg.pid, it->second);
+  it->second.running = false;
+  tokens_.erase(msg.pid);
+}
+
+void WfqSched::TaskDead(uint64_t pid) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(pid);
+  if (it != entities_.end()) {
+    DequeueLocked(pid, it->second);
+    entities_.erase(it);
+  }
+  tokens_.erase(pid);
+}
+
+std::optional<Schedulable> WfqSched::TaskDeparted(const TaskMessage& msg) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(msg.pid);
+  if (it != entities_.end()) {
+    DequeueLocked(msg.pid, it->second);
+    entities_.erase(it);
+  }
+  auto tok = tokens_.find(msg.pid);
+  if (tok == tokens_.end()) {
+    return std::nullopt;
+  }
+  Schedulable s = std::move(tok->second);
+  tokens_.erase(tok);
+  return s;
+}
+
+void WfqSched::TaskPrioChanged(uint64_t pid, int nice) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(pid);
+  if (it != entities_.end()) {
+    it->second.weight = NiceToWeight(nice);
+  }
+}
+
+std::optional<Schedulable> WfqSched::PickNextTask(int cpu, std::optional<Schedulable> curr) {
+  SpinLockGuard g(lock_);
+  auto& q = queues_[cpu];
+  if (q.empty()) {
+    return std::nullopt;
+  }
+  const auto head = q.begin();
+  const uint64_t pid = head->second;
+  min_vruntime_[cpu] = std::max(min_vruntime_[cpu], head->first);
+  q.erase(head);
+  auto it = entities_.find(pid);
+  ENOKI_CHECK(it != entities_.end());
+  it->second.queued = false;
+  it->second.running = true;
+  it->second.slice_start_runtime = it->second.last_runtime;
+  auto tok = tokens_.find(pid);
+  if (tok == tokens_.end()) {
+    return std::nullopt;
+  }
+  Schedulable s = std::move(tok->second);
+  tokens_.erase(tok);
+  return s;
+}
+
+std::optional<uint64_t> WfqSched::Balance(int cpu) {
+  SpinLockGuard g(lock_);
+  if (!queues_[cpu].empty()) {
+    return std::nullopt;
+  }
+  // The core is about to go idle: steal from the longest queue.
+  int busiest = -1;
+  size_t best = 1;
+  for (int c = 0; c < static_cast<int>(queues_.size()); ++c) {
+    if (c != cpu && queues_[c].size() >= best) {
+      best = queues_[c].size();
+      busiest = c;
+    }
+  }
+  if (busiest < 0) {
+    return std::nullopt;
+  }
+  return queues_[busiest].begin()->second;
+}
+
+Schedulable WfqSched::MigrateTaskRq(const MigrateMessage& msg, Schedulable sched) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(msg.pid);
+  ENOKI_CHECK(it != entities_.end());
+  Entity& e = it->second;
+  Account(e, msg.runtime);
+  DequeueLocked(msg.pid, e);
+  // Renormalize vruntime into the destination queue's timeline.
+  const uint64_t from_min = min_vruntime_[msg.from_cpu];
+  const uint64_t to_min = min_vruntime_[msg.to_cpu];
+  e.vruntime = e.vruntime >= from_min ? to_min + (e.vruntime - from_min) : to_min;
+  EnqueueLocked(msg.pid, e, msg.to_cpu);
+  auto tok = tokens_.find(msg.pid);
+  ENOKI_CHECK(tok != tokens_.end());
+  Schedulable old = std::move(tok->second);
+  tok->second = std::move(sched);
+  return old;
+}
+
+void WfqSched::TaskTick(int cpu, uint64_t pid, Duration runtime) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(pid);
+  if (it == entities_.end()) {
+    return;
+  }
+  Entity& e = it->second;
+  Account(e, runtime);
+  const auto& q = queues_[cpu];
+  if (q.empty()) {
+    return;
+  }
+  // Fair time slice: period / nr_running, floored at the minimum
+  // granularity, scaled by this task's weight share.
+  const size_t nr = q.size() + 1;
+  const Duration period = std::max(kSchedLatencyNs, kMinGranularityNs * nr);
+  const Duration slice = std::max(kMinGranularityNs, period / nr);
+  const Duration ran = e.last_runtime - e.slice_start_runtime;
+  const bool slice_expired = ran >= slice;
+  // Wakeup-style preemption at tick: a queued task with materially lower
+  // vruntime should take over.
+  const bool lagging = q.begin()->first + kWakeupGranularityNs < e.vruntime;
+  if (slice_expired || lagging) {
+    env_->ReschedCpu(cpu);
+  }
+}
+
+TransferState WfqSched::ReregisterPrepare() {
+  SpinLockGuard g(lock_);
+  auto t = std::make_unique<Transfer>();
+  t->entities = std::move(entities_);
+  t->tokens = std::move(tokens_);
+  t->queues = std::move(queues_);
+  t->min_vruntime = std::move(min_vruntime_);
+  entities_.clear();
+  tokens_.clear();
+  queues_.clear();
+  min_vruntime_.clear();
+  return TransferState::Of(std::move(t));
+}
+
+void WfqSched::ReregisterInit(TransferState state) {
+  if (state.empty()) {
+    return;
+  }
+  auto t = state.Take<Transfer>();
+  if (t == nullptr) {
+    return;
+  }
+  SpinLockGuard g(lock_);
+  entities_ = std::move(t->entities);
+  tokens_ = std::move(t->tokens);
+  queues_ = std::move(t->queues);
+  min_vruntime_ = std::move(t->min_vruntime);
+}
+
+size_t WfqSched::QueueDepth(int cpu) {
+  SpinLockGuard g(lock_);
+  return queues_[cpu].size();
+}
+
+uint64_t WfqSched::VruntimeOf(uint64_t pid) {
+  SpinLockGuard g(lock_);
+  auto it = entities_.find(pid);
+  return it == entities_.end() ? 0 : it->second.vruntime;
+}
+
+}  // namespace enoki

@@ -1,0 +1,85 @@
+// Reusable TaskBody building blocks for tests, examples, and workloads.
+
+#ifndef SRC_SIMKERNEL_BODIES_H_
+#define SRC_SIMKERNEL_BODIES_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/simkernel/task.h"
+
+namespace enoki {
+
+// Plays a fixed list of actions, then exits.
+class ScriptedBody : public TaskBody {
+ public:
+  explicit ScriptedBody(std::vector<Action> actions) : actions_(std::move(actions)) {}
+
+  Action NextAction(SimContext& ctx) override {
+    if (index_ >= actions_.size()) {
+      return Action::Exit();
+    }
+    return actions_[index_++];
+  }
+
+ private:
+  std::vector<Action> actions_;
+  size_t index_ = 0;
+};
+
+// Delegates to a callable; the callable owns all state. Ideal for lambdas in
+// tests and for workload closures.
+class FnBody : public TaskBody {
+ public:
+  using Fn = std::function<Action(SimContext&)>;
+  explicit FnBody(Fn fn) : fn_(std::move(fn)) {}
+
+  Action NextAction(SimContext& ctx) override { return fn_(ctx); }
+
+ private:
+  Fn fn_;
+};
+
+inline std::unique_ptr<TaskBody> MakeFnBody(FnBody::Fn fn) {
+  return std::make_unique<FnBody>(std::move(fn));
+}
+
+// Computes in fixed-size chunks until the given total CPU time has been
+// consumed, then exits. The chunking gives the scheduler regular preemption
+// points, like a real compute loop under timer ticks.
+class CpuBoundBody : public TaskBody {
+ public:
+  CpuBoundBody(Duration total, Duration chunk) : remaining_(total), chunk_(chunk) {}
+
+  Action NextAction(SimContext& ctx) override {
+    if (remaining_ == 0) {
+      return Action::Exit();
+    }
+    const Duration step = remaining_ < chunk_ ? remaining_ : chunk_;
+    remaining_ -= step;
+    return Action::Compute(step);
+  }
+
+  Duration remaining() const { return remaining_; }
+
+ private:
+  Duration remaining_;
+  const Duration chunk_;
+};
+
+// Spins forever in chunks; used for batch/background applications.
+class SpinForeverBody : public TaskBody {
+ public:
+  explicit SpinForeverBody(Duration chunk) : chunk_(chunk) {}
+
+  Action NextAction(SimContext& ctx) override { return Action::Compute(chunk_); }
+
+ private:
+  const Duration chunk_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_SIMKERNEL_BODIES_H_

@@ -1,0 +1,143 @@
+// Deterministic discrete-event loop.
+//
+// All simulated activity is driven by timestamped events. Ties are broken by
+// insertion sequence number so that simulation runs are reproducible
+// regardless of host platform or container ordering.
+
+#ifndef SRC_SIMKERNEL_EVENT_LOOP_H_
+#define SRC_SIMKERNEL_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/time.h"
+
+namespace enoki {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `at` (>= now). Returns an id that
+  // can be passed to Cancel().
+  EventId ScheduleAt(Time at, Callback cb) {
+    ENOKI_CHECK(at >= now_);
+    const EventId id = ++next_seq_;
+    queue_.push(Event{at, id, std::move(cb)});
+    ++live_events_;
+    return id;
+  }
+
+  EventId ScheduleAfter(Duration delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // event is a checked error: callers own their event ids.
+  void Cancel(EventId id) {
+    ENOKI_CHECK(id != kInvalidEventId);
+    auto inserted = cancelled_.insert(id).second;
+    ENOKI_CHECK_MSG(inserted, "event cancelled twice");
+    ENOKI_CHECK(live_events_ > 0);
+    --live_events_;
+  }
+
+  bool HasWork() const { return live_events_ > 0; }
+
+  // Runs the earliest pending event. Returns false when the queue is empty.
+  bool RunOne() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      auto it = cancelled_.find(ev.seq);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      ENOKI_CHECK(ev.at >= now_);
+      now_ = ev.at;
+      --live_events_;
+      ++executed_;
+      ev.cb();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs events until simulated time reaches `deadline` (events at exactly
+  // `deadline` are executed) or the queue drains.
+  void RunUntil(Time deadline) {
+    while (!queue_.empty()) {
+      if (PeekTime() > deadline) {
+        now_ = deadline;
+        return;
+      }
+      RunOne();
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  void RunUntilIdle() {
+    while (RunOne()) {
+    }
+  }
+
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    EventId seq;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Time PeekTime() {
+    // Skip over cancelled events at the head so RunUntil sees the true next
+    // event time.
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      auto it = cancelled_.find(top.seq);
+      if (it == cancelled_.end()) {
+        return top.at;
+      }
+      cancelled_.erase(it);
+      queue_.pop();
+    }
+    return kTimeMax;
+  }
+
+  Time now_ = 0;
+  EventId next_seq_ = 0;
+  uint64_t live_events_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_SIMKERNEL_EVENT_LOOP_H_

@@ -1,0 +1,245 @@
+// SchedCore: the simulated core scheduling loop (kernel/sched/core.c analog).
+//
+// SchedCore owns the event loop, the CPUs, and the tasks. It drives task
+// bodies, charges the cost model, and dispatches every scheduling decision
+// through registered SchedClass instances in class-priority order. The
+// protocol visible to a SchedClass mirrors the kernel's:
+//
+//   wakeup:    SelectTaskRq -> EnqueueTask -> WakeupPreempt check
+//   block:     DequeueTask(kBlocked) -> schedule()
+//   schedule:  [Balance] -> PickNextTask (per class, priority order)
+//   preempt:   TaskPreempted (requeue) -> schedule()
+//   tick:      TaskTick (may SetNeedResched)
+//
+// The contract for PickNextTask is pick-and-remove: a returned task is no
+// longer on the class's queue (set_next_task semantics), so no other CPU can
+// steal it during the context-switch window.
+
+#ifndef SRC_SIMKERNEL_SCHED_CORE_H_
+#define SRC_SIMKERNEL_SCHED_CORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/stats.h"
+#include "src/base/time.h"
+#include "src/simkernel/costs.h"
+#include "src/simkernel/event_loop.h"
+#include "src/simkernel/sched_class.h"
+#include "src/simkernel/task.h"
+
+namespace enoki {
+
+struct MachineSpec {
+  int ncpus = 8;
+  int nodes = 1;
+  std::string name = "1-socket i7-9700 (8 cores)";
+
+  // The 8-core one-socket machine used for most of the paper's evaluation.
+  static MachineSpec OneSocket8() { return MachineSpec{8, 1, "1-socket i7-9700 (8 cores)"}; }
+
+  // The 80-core two-socket Xeon Gold 6138 machine used for scalability tests.
+  static MachineSpec TwoSocket80() {
+    return MachineSpec{80, 2, "2-socket Xeon Gold 6138 (80 cores)"};
+  }
+};
+
+class SchedCore {
+ public:
+  SchedCore(MachineSpec spec, SimCosts costs);
+  ~SchedCore();
+
+  SchedCore(const SchedCore&) = delete;
+  SchedCore& operator=(const SchedCore&) = delete;
+
+  // ---- Configuration (before Start) ----
+
+  // Registers a scheduling class. Registration order defines class priority:
+  // earlier registrations are tried first by the pick loop (like the
+  // stop > dl > rt > fair ordering in Linux).
+  // Returns the policy id used by CreateTask.
+  int RegisterClass(SchedClass* cls);
+
+  void set_ticks_enabled(bool enabled) { ticks_enabled_ = enabled; }
+
+  // ---- Lifecycle ----
+
+  // Arms per-CPU ticks. Must be called once before running.
+  void Start();
+
+  void RunFor(Duration d) { loop_.RunUntil(loop_.now() + d); }
+  void RunUntil(Time t) { loop_.RunUntil(t); }
+
+  // Runs until every created task has exited, or `deadline` passes. Returns
+  // true if all tasks exited.
+  bool RunUntilAllExit(Time deadline);
+
+  // Runs until every task in `tasks` has exited (daemon tasks such as ghOSt
+  // agents may keep running), or `deadline` passes.
+  bool RunUntilTasksDead(const std::vector<Task*>& tasks, Time deadline) {
+    auto all_dead = [&tasks] {
+      for (const Task* t : tasks) {
+        if (t->state() != TaskState::kDead) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (loop_.now() < deadline && !all_dead()) {
+      if (!loop_.RunOne()) {
+        break;
+      }
+    }
+    return all_dead();
+  }
+
+  // ---- Task management ----
+
+  Task* CreateTask(std::string name, std::unique_ptr<TaskBody> body, int policy, int nice = 0);
+  Task* CreateTaskOn(std::string name, std::unique_ptr<TaskBody> body, int policy, int nice,
+                     const CpuMask& affinity);
+
+  // Wakes a blocked task from outside the action system (timers, agents).
+  void WakeTaskExternal(Task* t, bool sync = false, int from_cpu = -1);
+
+  // Signals a wait queue from kernel/event context (wakes one waiter or
+  // leaves a pending signal), mirroring a task's Action::Wake.
+  void Signal(WaitQueue* wq, bool sync = false, int from_cpu = -1) {
+    DoWake(wq, sync, from_cpu);
+  }
+
+  void SetTaskNice(Task* t, int nice);
+  void SetTaskAffinity(Task* t, const CpuMask& mask);
+
+  // sched_setscheduler analog: moves a task to another policy. The old
+  // class sees DequeueTask(kDeparted) (Enoki: task_departed, returning the
+  // Schedulable token); the new class receives the task as new.
+  void SetTaskPolicy(Task* t, int policy);
+
+  Task* FindTask(uint64_t pid) const;
+
+  // ---- Services for SchedClass implementations ----
+
+  void SetNeedResched(int cpu);
+
+  // Ensures `cpu` re-enters the scheduler soon: if idle, schedules a pick;
+  // if busy, sends a resched IPI that preempts the current task.
+  void KickCpu(int cpu, int from_cpu = -1);
+
+  // Charges scheduler-path overhead to `cpu`; applied at its next dispatch
+  // (or folded into the waking task's on-CPU time on the wake path).
+  void ChargeCpu(int cpu, Duration d) { cpus_[cpu].pending_charge += d; }
+
+  // Arms a one-shot per-CPU policy timer (hrtimer analog); `cls->TimerFired`
+  // runs on expiry. Returns an id usable with CancelClassTimer.
+  EventId ArmClassTimer(int cpu, Duration delay, SchedClass* cls);
+  void CancelClassTimer(EventId id) { loop_.Cancel(id); }
+
+  // Runtime of a task including its in-progress on-CPU segment.
+  Duration TaskRuntime(const Task* t) const;
+
+  // Records that a class moved a queued (runnable, not running) task to
+  // another CPU's queue. The class is responsible for its own queue state;
+  // the core validates the move and updates the task's CPU.
+  void MoveQueuedTask(Task* t, int to_cpu);
+
+  // ---- Introspection ----
+
+  EventLoop& loop() { return loop_; }
+  Time now() const { return loop_.now(); }
+  int ncpus() const { return spec_.ncpus; }
+  int NodeOf(int cpu) const { return cpu / (spec_.ncpus / spec_.nodes); }
+  const MachineSpec& spec() const { return spec_; }
+  const SimCosts& costs() const { return costs_; }
+  SchedClass* ClassForPolicy(int policy) const { return classes_[policy]; }
+  int ClassPriority(const SchedClass* cls) const;
+
+  Task* CurrentOn(int cpu) const { return cpus_[cpu].current; }
+  bool CpuIdle(int cpu) const {
+    return cpus_[cpu].current == nullptr && !cpus_[cpu].in_switch;
+  }
+
+  // True while an idle-exit kick (wakeup dispatch) is in flight for `cpu`:
+  // the CPU has been sent its resched IPI and will pick shortly. Balancers
+  // should not steal from a queue whose CPU is already waking.
+  bool CpuKickPending(int cpu) const { return cpus_[cpu].kick_pending; }
+
+  uint64_t context_switches() const { return context_switches_; }
+  uint64_t live_task_count() const { return live_tasks_; }
+  const LatencyRecorder& wake_latency() const { return wake_latency_; }
+  LatencyRecorder& mutable_wake_latency() { return wake_latency_; }
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  uint64_t pick_errors() const { return pick_errors_; }
+  void CountPickError() { ++pick_errors_; }
+
+  // Hook invoked with (task, wake-to-run latency) at every dispatch following
+  // a wakeup; workloads use it for per-task latency attribution.
+  void set_wake_latency_hook(std::function<void(Task*, Duration)> hook) {
+    wake_latency_hook_ = std::move(hook);
+  }
+
+ private:
+  friend class SimContext;
+
+  struct CpuState {
+    Task* current = nullptr;
+    bool in_switch = false;
+    bool need_resched = false;
+    bool kick_pending = false;
+    Time idle_since = 0;
+    Duration pending_charge = 0;
+    uint64_t idle_ticks = 0;
+    EventId tick_event = kInvalidEventId;
+  };
+
+  // Idle CPUs attempt a balance pass every this many ticks (nohz idle
+  // balancing analog).
+  static constexpr uint64_t kIdleBalanceTicks = 4;
+
+  void WakeTaskInternal(Task* t, bool sync, int from_cpu, bool is_new);
+  void Schedule(int cpu);
+  Task* PickNext(int cpu);
+  void Dispatch(int cpu, Task* next);
+  void FinishSwitch(int cpu, Task* next);
+  void RunCurrent(int cpu);
+  void OnComputeDone(int cpu, Task* t);
+  void PreemptCurrent(int cpu);
+  void BlockCurrent(int cpu, WaitQueue* wq);
+  void SleepCurrent(int cpu, Duration d);
+  void YieldCurrent(int cpu);
+  void ExitCurrent(int cpu);
+  void DoWake(WaitQueue* wq, bool sync, int from_cpu);
+  void StopCompute(Task* t);
+  void AccrueRuntime(Task* t);
+  Duration IdleExitCost(int cpu) const;
+  void TickFired(int cpu);
+  Duration TakeCharge(int cpu) {
+    const Duration d = cpus_[cpu].pending_charge;
+    cpus_[cpu].pending_charge = 0;
+    return d;
+  }
+
+  const MachineSpec spec_;
+  const SimCosts costs_;
+  EventLoop loop_;
+  std::vector<CpuState> cpus_;
+  std::vector<SchedClass*> classes_;  // priority order
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::unordered_map<uint64_t, Task*> tasks_by_pid_;
+  uint64_t next_pid_ = 1;
+  uint64_t live_tasks_ = 0;
+  uint64_t context_switches_ = 0;
+  uint64_t pick_errors_ = 0;
+  bool ticks_enabled_ = true;
+  bool started_ = false;
+  LatencyRecorder wake_latency_;
+  std::function<void(Task*, Duration)> wake_latency_hook_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_SIMKERNEL_SCHED_CORE_H_

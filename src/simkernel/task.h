@@ -1,0 +1,199 @@
+// Task model: the task_struct analog plus the program-driven behaviour layer.
+//
+// Workloads describe a task's behaviour as a TaskBody: each time the task is
+// (re)dispatched with no compute left, the scheduler core asks the body for
+// its next Action (compute for d ns, block on a wait queue, wake a wait
+// queue, sleep, yield, or exit). This keeps workloads deterministic and lets
+// the core charge precise per-mechanism costs at each transition.
+
+#ifndef SRC_SIMKERNEL_TASK_H_
+#define SRC_SIMKERNEL_TASK_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/base/cpumask.h"
+#include "src/base/niceness.h"
+#include "src/base/time.h"
+#include "src/simkernel/event_loop.h"
+
+namespace enoki {
+
+class Task;
+class SchedClass;
+class SchedCore;
+
+// A wait queue with counting-semaphore semantics: Wake with no waiter leaves
+// a pending signal; Block with a pending signal consumes it without sleeping.
+// This models pipes (data tokens) and futex-style waits without lost wakeups.
+class WaitQueue {
+ public:
+  explicit WaitQueue(std::string name) : name_(std::move(name)) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  bool TryConsumeSignal() {
+    if (signals_ > 0) {
+      --signals_;
+      return true;
+    }
+    return false;
+  }
+
+  void AddSignal() { ++signals_; }
+
+  void AddWaiter(Task* t) { waiters_.push_back(t); }
+
+  Task* PopWaiter() {
+    if (waiters_.empty()) {
+      return nullptr;
+    }
+    Task* t = waiters_.front();
+    waiters_.pop_front();
+    return t;
+  }
+
+  bool RemoveWaiter(Task* t) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == t) {
+        waiters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t waiter_count() const { return waiters_.size(); }
+  uint64_t signal_count() const { return signals_; }
+
+ private:
+  std::string name_;
+  std::deque<Task*> waiters_;
+  uint64_t signals_ = 0;
+};
+
+struct Action {
+  enum class Kind {
+    kCompute,  // run on the CPU for `duration`
+    kBlock,    // block until `wq` is signalled (consumes a pending signal)
+    kWake,     // signal `wq`, waking one waiter if present; task continues
+    kSleep,    // timed sleep for `duration`
+    kYield,    // sched_yield()
+    kExit,     // task terminates
+  };
+
+  static Action Compute(Duration d) { return {Kind::kCompute, d, nullptr, false}; }
+  static Action Block(WaitQueue* wq) { return {Kind::kBlock, 0, wq, false}; }
+  static Action Wake(WaitQueue* wq, bool sync = false) { return {Kind::kWake, 0, wq, sync}; }
+  static Action Sleep(Duration d) { return {Kind::kSleep, d, nullptr, false}; }
+  static Action Yield() { return {Kind::kYield, 0, nullptr, false}; }
+  static Action Exit() { return {Kind::kExit, 0, nullptr, false}; }
+
+  Kind kind;
+  Duration duration;
+  WaitQueue* wq;
+  bool wake_sync;  // WF_SYNC analog: waker will block imminently
+};
+
+// Execution context handed to a TaskBody; provides time and identity without
+// exposing the core's mutable state.
+class SimContext {
+ public:
+  SimContext(SchedCore* core, Task* task) : core_(core), task_(task) {}
+
+  Time now() const;
+  Task* task() const { return task_; }
+  int cpu() const;
+  SchedCore* core() const { return core_; }
+
+ private:
+  SchedCore* core_;
+  Task* task_;
+};
+
+class TaskBody {
+ public:
+  virtual ~TaskBody() = default;
+
+  // Called whenever the task is on-CPU with no outstanding compute. The
+  // returned action is performed immediately.
+  virtual Action NextAction(SimContext& ctx) = 0;
+
+  // Invoked once when the task first becomes runnable; lets bodies stamp
+  // start times.
+  virtual void OnStart(SimContext& ctx) {}
+};
+
+enum class TaskState {
+  kCreated,   // constructed, not yet woken
+  kRunnable,  // on a run queue, waiting for CPU
+  kRunning,   // currently on a CPU
+  kBlocked,   // waiting (wait queue or timed sleep)
+  kDead,      // exited
+};
+
+class Task {
+ public:
+  Task(uint64_t pid, std::string name, std::unique_ptr<TaskBody> body)
+      : pid_(pid), name_(std::move(name)), body_(std::move(body)) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  uint64_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  TaskBody* body() const { return body_.get(); }
+
+  TaskState state() const { return state_; }
+  int cpu() const { return cpu_; }
+  int nice() const { return nice_; }
+  const CpuMask& affinity() const { return affinity_; }
+  int policy() const { return policy_; }
+  SchedClass* sched_class() const { return sched_class_; }
+
+  Duration total_runtime() const { return total_runtime_; }
+  uint64_t wake_count() const { return wake_count_; }
+  uint64_t switch_in_count() const { return switch_in_count_; }
+  Time last_runnable_at() const { return last_runnable_at_; }
+
+ private:
+  friend class SchedCore;
+
+  const uint64_t pid_;
+  const std::string name_;
+  std::unique_ptr<TaskBody> body_;
+
+  TaskState state_ = TaskState::kCreated;
+  int cpu_ = 0;                 // current or last CPU
+  int nice_ = 0;
+  int policy_ = 0;              // index into the core's policy table
+  SchedClass* sched_class_ = nullptr;
+  CpuMask affinity_ = CpuMask::All(CpuMask::kMaxCpus);
+
+  // Execution bookkeeping, owned by SchedCore.
+  Duration remaining_compute_ = 0;
+  EventId compute_event_ = kInvalidEventId;
+  Time compute_started_at_ = 0;
+  EventId sleep_event_ = kInvalidEventId;
+  Duration total_runtime_ = 0;
+  Time run_segment_start_ = 0;
+  Time last_runnable_at_ = 0;
+  bool wake_latency_pending_ = false;
+  uint64_t wake_count_ = 0;
+  uint64_t switch_in_count_ = 0;
+  bool started_ = false;
+
+  // Token generation for Enoki Schedulable validation (see enoki/api.h).
+  uint64_t token_generation_ = 0;
+
+  friend class EnokiRuntime;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_SIMKERNEL_TASK_H_

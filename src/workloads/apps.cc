@@ -1,0 +1,328 @@
+#include "src/workloads/apps.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace enoki {
+namespace {
+
+// Per-task compute multiplier under `skew`: task i of n gets 1 +- skew,
+// spread linearly, so total work is independent of skew.
+double SkewFactor(int i, int n, double skew) {
+  if (n <= 1 || skew == 0.0) {
+    return 1.0;
+  }
+  const double x = static_cast<double>(i) / static_cast<double>(n - 1);  // 0..1
+  return 1.0 + skew * (2.0 * x - 1.0);
+}
+
+struct Barrier {
+  explicit Barrier(int n) : n(n), wq("app-barrier") {}
+  int n;
+  int arrived = 0;
+  int to_release = 0;
+  WaitQueue wq;
+};
+
+// SPMD worker: compute a phase, then barrier-synchronize; the last arriver
+// releases the others.
+class SpmdBody : public TaskBody {
+ public:
+  SpmdBody(std::shared_ptr<Barrier> barrier, Duration phase, int phases)
+      : barrier_(std::move(barrier)), phase_(phase), phases_(phases) {}
+
+  Action NextAction(SimContext& ctx) override {
+    switch (step_) {
+      case Step::kCompute:
+        if (phases_ == 0) {
+          return Action::Exit();
+        }
+        --phases_;
+        step_ = Step::kArrive;
+        return Action::Compute(phase_);
+      case Step::kArrive: {
+        Barrier& b = *barrier_;
+        ++b.arrived;
+        if (b.arrived == b.n) {
+          b.arrived = 0;
+          b.to_release = b.n - 1;
+          step_ = Step::kRelease;
+          return NextAction(ctx);
+        }
+        step_ = Step::kCompute;
+        return Action::Block(&b.wq);
+      }
+      case Step::kRelease: {
+        Barrier& b = *barrier_;
+        if (b.to_release > 0) {
+          --b.to_release;
+          return Action::Wake(&b.wq);
+        }
+        step_ = Step::kCompute;
+        return NextAction(ctx);
+      }
+    }
+    return Action::Exit();
+  }
+
+ private:
+  enum class Step { kCompute, kArrive, kRelease };
+  std::shared_ptr<Barrier> barrier_;
+  const Duration phase_;
+  int phases_;
+  Step step_ = Step::kCompute;
+};
+
+}  // namespace
+
+AppResult RunApp(SchedCore& core, int policy, const AppSpec& spec) {
+  Rng rng(spec.seed);
+  const Time start = core.now();
+  uint64_t total_work_ns = 0;
+
+  switch (spec.pattern) {
+    case AppPattern::kSpmdBarrier: {
+      const int n = spec.tasks > 0 ? spec.tasks : core.ncpus();
+      auto barrier = std::make_shared<Barrier>(n);
+      for (int i = 0; i < n; ++i) {
+        const Duration phase =
+            static_cast<Duration>(static_cast<double>(spec.phase_ns) * SkewFactor(i, n, spec.skew));
+        total_work_ns += phase * static_cast<uint64_t>(spec.phases);
+        core.CreateTask(spec.name + "-w" + std::to_string(i),
+                        std::make_unique<SpmdBody>(barrier, phase, spec.phases), policy);
+      }
+      break;
+    }
+    case AppPattern::kForkJoin: {
+      // Master wakes workers each phase and joins them; workers block between
+      // phases.
+      const int n = spec.tasks;
+      struct Shared {
+        std::vector<std::unique_ptr<WaitQueue>> start;
+        WaitQueue done{"fj-done"};
+      };
+      auto sh = std::make_shared<Shared>();
+      for (int i = 0; i < n; ++i) {
+        sh->start.push_back(std::make_unique<WaitQueue>("fj-start"));
+      }
+      for (int i = 0; i < n; ++i) {
+        const Duration phase =
+            static_cast<Duration>(static_cast<double>(spec.phase_ns) * SkewFactor(i, n, spec.skew));
+        total_work_ns += phase * static_cast<uint64_t>(spec.phases);
+        auto step = std::make_shared<int>(0);
+        auto left = std::make_shared<int>(spec.phases);
+        WaitQueue* in = sh->start[i].get();
+        core.CreateTask(spec.name + "-w" + std::to_string(i),
+                        MakeFnBody([sh, step, left, in, phase](SimContext& ctx) -> Action {
+                          switch (*step) {
+                            case 0:
+                              if (*left == 0) {
+                                return Action::Exit();
+                              }
+                              --*left;
+                              *step = 1;
+                              return Action::Block(in);
+                            case 1:
+                              *step = 2;
+                              return Action::Compute(phase);
+                            default:
+                              *step = 0;
+                              return Action::Wake(&sh->done);
+                          }
+                        }),
+                        policy);
+      }
+      auto mstate = std::make_shared<int>(0);
+      auto mleft = std::make_shared<int>(spec.phases);
+      core.CreateTask(spec.name + "-master",
+                      MakeFnBody([sh, mstate, mleft, n](SimContext& ctx) -> Action {
+                        const int s = *mstate;
+                        if (s == 0 && *mleft == 0) {
+                          return Action::Exit();
+                        }
+                        if (s < n) {
+                          *mstate = s + 1;
+                          return Action::Wake(sh->start[s].get());
+                        }
+                        if (s < 2 * n) {
+                          *mstate = s + 1;
+                          return Action::Block(&sh->done);
+                        }
+                        *mstate = 0;
+                        --*mleft;
+                        return Action::Compute(Microseconds(50));  // serial section
+                      }),
+                      policy);
+      break;
+    }
+    case AppPattern::kPipeline: {
+      const int stages = std::max(2, spec.tasks);
+      auto queues = std::make_shared<std::vector<std::unique_ptr<WaitQueue>>>();
+      for (int i = 0; i < stages; ++i) {
+        queues->push_back(std::make_unique<WaitQueue>("pipe-stage"));
+      }
+      // Source: stage 0 produces `phases` items.
+      for (int i = 0; i < stages; ++i) {
+        const Duration phase =
+            static_cast<Duration>(static_cast<double>(spec.phase_ns) * SkewFactor(i, stages, spec.skew));
+        total_work_ns += phase * static_cast<uint64_t>(spec.phases);
+        auto step = std::make_shared<int>(0);
+        auto left = std::make_shared<int>(spec.phases);
+        const bool is_source = i == 0;
+        const bool is_sink = i == stages - 1;
+        WaitQueue* in = is_source ? nullptr : (*queues)[i - 1].get();
+        WaitQueue* out = is_sink ? nullptr : (*queues)[i].get();
+        core.CreateTask(
+            spec.name + "-s" + std::to_string(i),
+            // `queues` is captured to keep the stage wait queues alive for
+            // the lifetime of the tasks.
+            MakeFnBody([queues, step, left, in, out, phase, is_source,
+                        is_sink](SimContext& ctx) -> Action {
+              switch (*step) {
+                case 0:
+                  if (*left == 0) {
+                    return Action::Exit();
+                  }
+                  --*left;
+                  *step = 1;
+                  if (is_source) {
+                    return Action::Compute(phase);
+                  }
+                  return Action::Block(in);
+                case 1:
+                  if (is_source) {
+                    *step = 0;
+                    return Action::Wake(out);
+                  }
+                  *step = 2;
+                  return Action::Compute(phase);
+                default:
+                  *step = 0;
+                  if (is_sink) {
+                    return Action::Compute(1);  // loop to the next item
+                  }
+                  return Action::Wake(out);
+              }
+            }),
+            policy);
+      }
+      break;
+    }
+    case AppPattern::kOversubscribed: {
+      const Duration chunk = Milliseconds(1);
+      for (int i = 0; i < spec.tasks; ++i) {
+        const Duration work = static_cast<Duration>(static_cast<double>(spec.phase_ns) *
+                                                    static_cast<double>(spec.phases) *
+                                                    SkewFactor(i, spec.tasks, spec.skew));
+        total_work_ns += work;
+        auto remaining = std::make_shared<Duration>(work);
+        core.CreateTask(spec.name + "-w" + std::to_string(i),
+                        MakeFnBody([remaining, chunk](SimContext& ctx) -> Action {
+                          if (*remaining == 0) {
+                            return Action::Exit();
+                          }
+                          const Duration step = *remaining < chunk ? *remaining : chunk;
+                          *remaining -= step;
+                          return Action::Compute(step);
+                        }),
+                        policy);
+      }
+      break;
+    }
+    case AppPattern::kIoMixed: {
+      for (int i = 0; i < spec.tasks; ++i) {
+        const Duration phase =
+            static_cast<Duration>(static_cast<double>(spec.phase_ns) * SkewFactor(i, spec.tasks, spec.skew));
+        total_work_ns += phase * static_cast<uint64_t>(spec.phases);
+        auto step = std::make_shared<int>(0);
+        auto left = std::make_shared<int>(spec.phases);
+        // Jitter sleeps so wakeups do not synchronize.
+        const Duration sleep =
+            spec.sleep_ns + rng.NextBelow(std::max<Duration>(spec.sleep_ns / 4, 1));
+        core.CreateTask(spec.name + "-w" + std::to_string(i),
+                        MakeFnBody([step, left, phase, sleep](SimContext& ctx) -> Action {
+                          if (*step == 0) {
+                            if (*left == 0) {
+                              return Action::Exit();
+                            }
+                            --*left;
+                            *step = 1;
+                            return Action::Compute(phase);
+                          }
+                          *step = 0;
+                          return Action::Sleep(sleep);
+                        }),
+                        policy);
+      }
+      break;
+    }
+  }
+
+  core.Start();
+  AppResult result;
+  result.completed = core.RunUntilAllExit(start + Seconds(600));
+  result.elapsed_seconds = ToSeconds(core.now() - start);
+  if (result.elapsed_seconds > 0) {
+    result.score = static_cast<double>(total_work_ns) / 1e9 / result.elapsed_seconds;
+  }
+  return result;
+}
+
+std::vector<AppSpec> Table5Suite(int ncpus) {
+  std::vector<AppSpec> suite;
+  auto nas = [&](const char* name, Duration phase, int phases, double skew) {
+    suite.push_back(AppSpec{name, AppPattern::kSpmdBarrier, ncpus, phase, phases, skew, 0, 1});
+  };
+  // NAS kernels: one task per core, barrier-synchronized phases.
+  nas("BT", Milliseconds(4), 60, 0.02);
+  nas("CG", Milliseconds(1), 150, 0.05);
+  nas("EP", Milliseconds(8), 30, 0.0);
+  nas("FT", Milliseconds(3), 80, 0.03);
+  nas("IS", Microseconds(600), 200, 0.05);
+  nas("LU", Milliseconds(2), 120, 0.08);
+  nas("MG", Milliseconds(1), 180, 0.04);
+  nas("SP", Milliseconds(3), 90, 0.03);
+  nas("UA", Microseconds(800), 220, 0.10);
+
+  auto app = [&](const char* name, AppPattern p, int tasks, Duration phase, int phases,
+                 double skew, Duration sleep, uint64_t seed) {
+    suite.push_back(AppSpec{name, p, tasks, phase, phases, skew, sleep, seed});
+  };
+  // Phoronix Multicore analogs (names follow Table 5 / Appendix Table 7).
+  app("Arrayfire, 1 (BLAS)", AppPattern::kForkJoin, ncpus, Milliseconds(2), 80, 0.05, 0, 2);
+  app("Arrayfire, 2 (CG)", AppPattern::kForkJoin, ncpus, Microseconds(700), 150, 0.05, 0, 3);
+  app("Cassandra, 1 (Writes)", AppPattern::kOversubscribed, 3 * ncpus, Microseconds(400), 900,
+      0.65, 0, 4);
+  app("ASKAP, 4 (Hogbom)", AppPattern::kSpmdBarrier, ncpus, Milliseconds(2), 100, 0.04, 0, 5);
+  app("Cpuminer, 2 (SHA-256)", AppPattern::kOversubscribed, ncpus, Milliseconds(5), 80, 0.0, 0, 6);
+  app("Cpuminer, 3 (Quad SHA)", AppPattern::kOversubscribed, ncpus, Milliseconds(5), 70, 0.0, 0, 7);
+  app("Cpuminer, 4 (Myriad)", AppPattern::kOversubscribed, ncpus, Milliseconds(4), 80, 0.0, 0, 8);
+  app("Cpuminer, 6 (Blake-2)", AppPattern::kOversubscribed, ncpus, Milliseconds(6), 60, 0.0, 0, 9);
+  app("Cpuminer, 11 (Skeincoin)", AppPattern::kOversubscribed, ncpus, Milliseconds(5), 70, 0.0, 0,
+      10);
+  app("Ffmpeg, 1 (libx264)", AppPattern::kPipeline, 6, Milliseconds(1), 500, 0.35, 0, 11);
+  app("Graphics-Magick, 4 (Resize)", AppPattern::kForkJoin, ncpus, Milliseconds(1), 120, 0.10, 0,
+      12);
+  app("OIDN, 1 (RT.hdr)", AppPattern::kForkJoin, ncpus, Milliseconds(6), 40, 0.05, 0, 13);
+  app("OIDN, 2 (RT.ldr)", AppPattern::kForkJoin, ncpus, Milliseconds(6), 40, 0.06, 0, 14);
+  app("OIDN, 3 (RTLightmap)", AppPattern::kForkJoin, ncpus, Milliseconds(9), 30, 0.05, 0, 15);
+  app("Rodina, 3 (Leukocyte)", AppPattern::kSpmdBarrier, ncpus, Milliseconds(3), 90, 0.06, 0, 16);
+  app("Zstd, 2 (L3 Long)", AppPattern::kPipeline, 5, Microseconds(800), 700, 0.55, 0, 17);
+  app("Zstd, 4 (L8 Long)", AppPattern::kPipeline, 5, Milliseconds(2), 300, 0.50, 0, 18);
+  app("AVIFEnc, 4 (Lossless)", AppPattern::kOversubscribed, 2 * ncpus, Milliseconds(1), 250, 0.45,
+      0, 19);
+  app("Libgav1, 1 (SN 1080p)", AppPattern::kPipeline, 4, Microseconds(900), 600, 0.30, 0, 20);
+  app("Libgav1, 2 (SN 4k)", AppPattern::kPipeline, 4, Milliseconds(3), 200, 0.30, 0, 21);
+  app("Libgav1, 3 (Chimera)", AppPattern::kPipeline, 4, Milliseconds(1), 450, 0.35, 0, 22);
+  app("Libgav1, 4 (Chimera 10b)", AppPattern::kPipeline, 4, Milliseconds(3), 180, 0.35, 0, 23);
+  app("OneDNN, 4, 1 (IP 1D)", AppPattern::kForkJoin, ncpus, Microseconds(250), 300, 0.08, 0, 24);
+  app("OneDNN, 5, 1 (IP 3D)", AppPattern::kForkJoin, ncpus, Microseconds(500), 250, 0.12, 0, 25);
+  app("OneDNN, 7, 1 (RNN f32)", AppPattern::kForkJoin, ncpus, Milliseconds(4), 60, 0.04, 0, 26);
+  app("OneDNN, 7, 2 (RNN u8)", AppPattern::kForkJoin, ncpus, Milliseconds(4), 60, 0.04, 0, 27);
+  app("OneDNN, 7, 3 (RNN bf16)", AppPattern::kForkJoin, ncpus, Milliseconds(4), 60, 0.04, 0, 28);
+  ENOKI_CHECK(suite.size() == 36);
+  return suite;
+}
+
+}  // namespace enoki

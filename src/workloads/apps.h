@@ -1,0 +1,59 @@
+// Synthetic application suite standing in for the NAS Parallel Benchmarks
+// and the Phoronix Multicore suite (Table 5).
+//
+// We cannot ship NASA's Fortran kernels or 27 Phoronix applications, but the
+// scheduler only ever sees their *parallel structure*: task counts, compute
+// granularity, synchronization pattern, and blocking behaviour. Each AppSpec
+// reproduces one benchmark's structure (per-core SPMD with barriers for the
+// NAS kernels; fork-join, pipeline, oversubscribed, and I/O-mixed patterns
+// for the Phoronix entries). The reported score is work completed per
+// second, so CFS-vs-WFQ deltas come from scheduling decisions alone — the
+// same property the paper's Table 5 isolates.
+
+#ifndef SRC_WORKLOADS_APPS_H_
+#define SRC_WORKLOADS_APPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/simkernel/bodies.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+enum class AppPattern {
+  kSpmdBarrier,     // one task per core, compute + barrier phases (NAS)
+  kForkJoin,        // repeated spawn/join of short parallel phases
+  kPipeline,        // producer/consumer stages over queues
+  kOversubscribed,  // more tasks than cores, uneven sizes
+  kIoMixed,         // compute interleaved with sleeps (I/O waits)
+};
+
+struct AppSpec {
+  std::string name;
+  AppPattern pattern = AppPattern::kSpmdBarrier;
+  int tasks = 8;                         // worker count (kSpmdBarrier uses ncpus)
+  Duration phase_ns = Milliseconds(5);   // compute per phase per task
+  int phases = 200;                      // number of phases
+  double skew = 0.0;                     // per-task size skew (0 = uniform)
+  Duration sleep_ns = 0;                 // kIoMixed: sleep between phases
+  uint64_t seed = 1;
+};
+
+struct AppResult {
+  double score = 0.0;  // work units per second (higher is better)
+  double elapsed_seconds = 0.0;
+  bool completed = false;
+};
+
+// Runs one synthetic application to completion under `policy`.
+AppResult RunApp(SchedCore& core, int policy, const AppSpec& spec);
+
+// The full Table 5 suite: 9 NAS analogs + 27 Phoronix analogs.
+std::vector<AppSpec> Table5Suite(int ncpus);
+
+}  // namespace enoki
+
+#endif  // SRC_WORKLOADS_APPS_H_

@@ -1,0 +1,80 @@
+// WFQ functional-equivalence workloads (Appendix A.1).
+//
+// Three micro-experiments that check a scheduler implements weighted fair
+// queuing *behaviour*, not just performance:
+//  1. equal sharing: N CPU-bound tasks co-located on one core should finish
+//     together, at ~N x the isolated runtime;
+//  2. weighting: dropping one task to minimum priority should leave the
+//     other tasks' finish times nearly equal while the low-priority task
+//     finishes later;
+//  3. placement: one task per core should stay put, with low variance in
+//     completion times; a forced migration should not disturb the others.
+
+#ifndef SRC_WORKLOADS_FAIRNESS_H_
+#define SRC_WORKLOADS_FAIRNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/simkernel/bodies.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+struct FairnessResult {
+  std::vector<double> completion_seconds;  // per task, in creation order
+  bool completed = false;
+};
+
+// Starts `ntasks` CPU-bound tasks (each `work` of compute in `chunk` steps),
+// optionally pinned to one core, with per-task nice values, and reports when
+// each finished.
+inline FairnessResult RunFairness(SchedCore& core, int policy, int ntasks, Duration work,
+                                  bool same_core, const std::vector<int>& nices,
+                                  int migrate_task_to_cpu = -1,
+                                  Duration migrate_at = 0) {
+  FairnessResult result;
+  result.completion_seconds.assign(static_cast<size_t>(ntasks), 0.0);
+  auto completions = std::make_shared<std::vector<Time>>(ntasks, 0);
+
+  const Duration chunk = Milliseconds(1);
+  std::vector<Task*> tasks;
+  for (int i = 0; i < ntasks; ++i) {
+    auto remaining = std::make_shared<Duration>(work);
+    const int idx = i;
+    CpuMask mask = same_core ? CpuMask::Single(0) : CpuMask::All(core.ncpus());
+    const int nice = i < static_cast<int>(nices.size()) ? nices[i] : 0;
+    tasks.push_back(core.CreateTaskOn(
+        "fair-" + std::to_string(i),
+        MakeFnBody([remaining, completions, idx, chunk](SimContext& ctx) -> Action {
+          if (*remaining == 0) {
+            (*completions)[idx] = ctx.now();
+            return Action::Exit();
+          }
+          const Duration step = *remaining < chunk ? *remaining : chunk;
+          *remaining -= step;
+          return Action::Compute(step);
+        }),
+        policy, nice, mask));
+  }
+
+  core.Start();
+  if (migrate_task_to_cpu >= 0) {
+    core.loop().ScheduleAfter(migrate_at, [&core, &tasks, migrate_task_to_cpu] {
+      core.SetTaskAffinity(tasks[0], CpuMask::Single(migrate_task_to_cpu));
+    });
+    // Run in two phases so `tasks` stays alive for the callback.
+    core.RunUntil(core.now() + migrate_at + 1);
+  }
+  result.completed = core.RunUntilAllExit(core.now() + Seconds(600));
+  for (int i = 0; i < ntasks; ++i) {
+    result.completion_seconds[i] = ToSeconds((*completions)[i]);
+  }
+  return result;
+}
+
+}  // namespace enoki
+
+#endif  // SRC_WORKLOADS_FAIRNESS_H_

@@ -1,0 +1,375 @@
+// Memcached + Mutilate-style workload (Figure 3, section 5.6).
+//
+// An open-loop load generator produces requests with ETC-like service times
+// (lognormal around ~10 us, 3% slightly-heavier updates). Three server
+// configurations reproduce the paper's comparison:
+//  - kCfs: baseline memcached — 16 kernel worker threads under CFS on all
+//    cores, woken per request;
+//  - kArachne: the original Arachne — user-level dispatch on dedicated
+//    cores, with a *userspace* core arbiter that communicates over a socket
+//    (socket round-trip latency) and binds activations with cpuset-style
+//    affinity, running on CFS;
+//  - kEnokiArachne: the same runtime, but core requests flow through Enoki
+//    bidirectional hint queues to the in-kernel ArbiterSched.
+// Both Arachne configurations autoscale between `min_cores` and `max_cores`
+// (2-7 in the paper, reserving a core for background work).
+
+#ifndef SRC_WORKLOADS_MEMCACHED_H_
+#define SRC_WORKLOADS_MEMCACHED_H_
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/enoki/runtime.h"
+#include "src/sched/arbiter.h"
+#include "src/simkernel/bodies.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+enum class McMode { kCfs, kArachne, kEnokiArachne };
+
+struct McConfig {
+  McMode mode = McMode::kCfs;
+  double rate_per_sec = 200'000.0;
+  Duration mean_service = Microseconds(15);
+  double service_sigma = 0.5;       // lognormal shape
+  double update_fraction = 0.03;    // updates are ~2x heavier
+  int cfs_workers = 16;
+  int min_cores = 2;
+  int max_cores = 7;
+  Duration warmup = Milliseconds(500);
+  Duration runtime = Seconds(4);
+  int cfs_policy = 0;
+  // Enoki-Arachne plumbing (required for kEnokiArachne).
+  EnokiRuntime* arbiter_runtime = nullptr;
+  int arbiter_policy = -1;
+  int hint_queue = -1;
+  int rev_queue = -1;
+  uint64_t app_id = 1;
+  uint64_t seed = 11;
+};
+
+struct McResult {
+  Duration p50 = 0;
+  Duration p99 = 0;
+  uint64_t completed = 0;
+  double achieved_kreq_per_sec = 0.0;
+  double avg_cores = 0.0;  // average granted cores (Arachne modes)
+};
+
+namespace mc_internal {
+
+struct Shared {
+  std::deque<std::pair<Time, Duration>> queue;  // (arrival, service)
+  WaitQueue wq{"mc-q"};
+  LatencyRecorder latencies;
+  uint64_t completed = 0;
+  uint64_t arrivals_window = 0;
+  Time measure_from = 0;
+  // Arachne runtime state.
+  std::vector<bool> reclaim_flag;
+  std::vector<std::unique_ptr<WaitQueue>> park_wq;
+  std::vector<Task*> activations;
+};
+
+inline Duration SampleService(Rng& rng, const McConfig& cfg) {
+  const double sigma = cfg.service_sigma;
+  const double mu = std::log(static_cast<double>(cfg.mean_service)) - sigma * sigma / 2.0;
+  double s = rng.NextLogNormal(mu, sigma);
+  if (rng.NextBernoulli(cfg.update_fraction)) {
+    s *= 2.0;
+  }
+  return static_cast<Duration>(std::clamp(s, 500.0, 1e6));
+}
+
+}  // namespace mc_internal
+
+// Runs the workload; classes must be registered on `core` already. For
+// kEnokiArachne the arbiter runtime/queues must be wired in `config`.
+inline McResult RunMemcached(SchedCore& core, const McConfig& config) {
+  using mc_internal::Shared;
+  auto sh = std::make_shared<Shared>();
+  sh->measure_from = core.now() + config.warmup;
+
+  const bool arachne = config.mode != McMode::kCfs;
+
+  // ---- Load generator (clients) ----
+  // Mutilate clients are separate machines; arrivals come from event
+  // context (network receive), not from a simulated task.
+  {
+    auto rng = std::make_shared<Rng>(config.seed);
+    const double mean_gap_ns = 1e9 / config.rate_per_sec;
+    const McConfig cfg = config;
+    const Time end = core.now() + config.warmup + config.runtime;
+    auto gen = std::make_shared<std::function<void()>>();
+    *gen = [sh, rng, mean_gap_ns, cfg, arachne, end, gen, &core] {
+      sh->queue.emplace_back(core.now(), mc_internal::SampleService(*rng, cfg));
+      ++sh->arrivals_window;
+      if (!arachne) {
+        // Baseline memcached: the receive path wakes a worker thread.
+        core.Signal(&sh->wq);
+      }
+      // Arachne activations poll their run queues; no kernel wakeup needed.
+      if (core.now() < end) {
+        const Duration gap =
+            static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns)));
+        core.loop().ScheduleAfter(gap, *gen);
+      }
+    };
+    core.loop().ScheduleAfter(
+        static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns))), *gen);
+  }
+
+  if (!arachne) {
+    // ---- Baseline: CFS worker threads woken per request ----
+    for (int w = 0; w < config.cfs_workers; ++w) {
+      auto pending = std::make_shared<std::pair<Time, Duration>>();
+      auto step = std::make_shared<int>(0);
+      core.CreateTask("mc-worker-" + std::to_string(w),
+                      MakeFnBody([sh, pending, step](SimContext& ctx) -> Action {
+                        if (*step == 2) {  // finished serving
+                          if (ctx.now() >= sh->measure_from) {
+                            sh->latencies.Record(ctx.now() - pending->first);
+                            ++sh->completed;
+                          }
+                          *step = 0;
+                        }
+                        if (*step == 0) {  // wait for a request signal
+                          *step = 1;
+                          return Action::Block(&sh->wq);
+                        }
+                        if (sh->queue.empty()) {
+                          return Action::Block(&sh->wq);  // spurious wake
+                        }
+                        *pending = sh->queue.front();
+                        sh->queue.pop_front();
+                        *step = 2;
+                        return Action::Compute(pending->second);
+                      }),
+                      config.cfs_policy, 0);
+    }
+  } else {
+    // ---- Arachne activations: spin-dispatch user-level threads ----
+    const int nact = config.max_cores;
+    sh->reclaim_flag.assign(static_cast<size_t>(nact), false);
+    for (int i = 0; i < nact; ++i) {
+      sh->park_wq.push_back(std::make_unique<WaitQueue>("mc-park-" + std::to_string(i)));
+    }
+    const Duration uswitch = core.costs().user_switch_ns;
+    for (int i = 0; i < nact; ++i) {
+      auto pending = std::make_shared<std::pair<Time, Duration>>();
+      // Step 2 = initial park: activations start parked and run only once
+      // the arbiter grants them a core.
+      auto step = std::make_shared<int>(2);
+      const int idx = i;
+      const int policy =
+          config.mode == McMode::kEnokiArachne ? config.arbiter_policy : config.cfs_policy;
+      Task* t = core.CreateTask(
+          "mc-activation-" + std::to_string(i),
+          MakeFnBody([sh, pending, step, idx, uswitch](SimContext& ctx) -> Action {
+            if (*step == 2) {
+              *step = 0;
+              return Action::Block(sh->park_wq[idx].get());
+            }
+            if (*step == 1) {
+              // Finished serving a request.
+              if (ctx.now() >= sh->measure_from) {
+                sh->latencies.Record(ctx.now() - pending->first);
+                ++sh->completed;
+              }
+              *step = 0;
+            }
+            if (sh->reclaim_flag[idx]) {
+              sh->reclaim_flag[idx] = false;
+              return Action::Block(sh->park_wq[idx].get());
+            }
+            if (!sh->queue.empty()) {
+              *pending = sh->queue.front();
+              sh->queue.pop_front();
+              *step = 1;
+              return Action::Compute(2 * uswitch + pending->second);
+            }
+            return Action::Compute(1'000);  // poll quantum: the core spins
+          }),
+          policy, 0);
+      sh->activations.push_back(t);
+      if (config.mode == McMode::kEnokiArachne) {
+        HintBlob bind;
+        bind.w[0] = ArbiterSched::kBindActivation;
+        bind.w[1] = config.app_id;
+        bind.w[2] = t->pid();
+        config.arbiter_runtime->SendHint(config.hint_queue, bind);
+      }
+    }
+
+    // ---- Runtime controller: autoscaling + grant/reclaim handling ----
+    struct Ctl {
+      int granted = 0;
+      Time last_estimate = 0;
+      int last_desired = 0;
+      std::vector<int> core_of;  // activation -> core (original Arachne)
+      std::vector<bool> parked;
+      std::deque<int> free_cores;
+      uint64_t pending_socket_ops = 0;
+    };
+    auto ctl = std::make_shared<Ctl>();
+    ctl->core_of.assign(static_cast<size_t>(nact), -1);
+    ctl->parked.assign(static_cast<size_t>(nact), true);
+    for (int c = config.max_cores; c >= 1; --c) {
+      ctl->free_cores.push_back(c);
+    }
+    const McConfig cfg = config;
+    const Duration ctl_period = Milliseconds(2);
+    auto cores_acc = std::make_shared<StatAccumulator>();
+    core.CreateTaskOn(
+        "mc-controller",
+        MakeFnBody([sh, ctl, cfg, ctl_period, cores_acc, &core](SimContext& ctx) -> Action {
+          // Estimate desired cores from the arrival rate. Only re-estimate
+          // once a full measurement window has elapsed: back-to-back passes
+          // (e.g. after paying socket costs) would otherwise see a nearly
+          // empty window and thrash the core count.
+          int desired = ctl->last_desired;
+          const Duration since = ctx.now() - ctl->last_estimate;
+          if (since >= ctl_period) {
+            const double rate =
+                static_cast<double>(sh->arrivals_window) / ToSeconds(since);
+            sh->arrivals_window = 0;
+            ctl->last_estimate = ctx.now();
+            const double util = rate * ToSeconds(cfg.mean_service) * 1.3;
+            desired = static_cast<int>(std::ceil(util)) + 1;
+            if (!sh->queue.empty()) {
+              ++desired;
+            }
+            desired = std::clamp(desired, cfg.min_cores, cfg.max_cores);
+            ctl->last_desired = desired;
+          }
+          cores_acc->Record(static_cast<double>(ctl->granted));
+
+          if (cfg.mode == McMode::kEnokiArachne) {
+            // Request through the Enoki hint queue; apply grants/reclaims
+            // from the reverse queue.
+            HintBlob req;
+            req.w[0] = ArbiterSched::kReqCores;
+            req.w[1] = cfg.app_id;
+            req.w[2] = static_cast<uint64_t>(desired);
+            cfg.arbiter_runtime->SendHint(cfg.hint_queue, req, ctx.cpu());
+            while (auto rev = cfg.arbiter_runtime->PollRevHint(cfg.rev_queue)) {
+              const uint64_t pid = rev->w[3];
+              int idx = -1;
+              for (size_t i = 0; i < sh->activations.size(); ++i) {
+                if (sh->activations[i]->pid() == pid) {
+                  idx = static_cast<int>(i);
+                  break;
+                }
+              }
+              if (idx < 0) {
+                continue;
+              }
+              if (rev->w[0] == ArbiterSched::kGrantCore) {
+                ++ctl->granted;
+                if (ctl->parked[idx]) {
+                  ctl->parked[idx] = false;
+                  // Counting semantics: if the activation has not parked
+                  // yet, the signal is consumed when it does.
+                  core.Signal(sh->park_wq[idx].get(), false, ctx.cpu());
+                }
+              } else if (rev->w[0] == ArbiterSched::kReclaimCore) {
+                --ctl->granted;
+                sh->reclaim_flag[idx] = true;
+                ctl->parked[idx] = true;
+              }
+            }
+            return Action::Sleep(ctl_period);
+          }
+
+          // Original Arachne: the userspace arbiter applies grants itself,
+          // paying a socket round trip per operation.
+          Duration socket_cost = 0;
+          while (ctl->granted < desired && !ctl->free_cores.empty()) {
+            int idx = -1;
+            for (int i = 0; i < static_cast<int>(ctl->parked.size()); ++i) {
+              if (ctl->parked[i]) {
+                idx = i;
+                break;
+              }
+            }
+            if (idx < 0) {
+              break;
+            }
+            const int c = ctl->free_cores.front();
+            ctl->free_cores.pop_front();
+            ctl->core_of[idx] = c;
+            ctl->parked[idx] = false;
+            ++ctl->granted;
+            core.SetTaskAffinity(sh->activations[idx], CpuMask::Single(c));
+            core.Signal(sh->park_wq[idx].get(), false, ctx.cpu());
+            socket_cost += core.costs().socket_rtt_ns;
+          }
+          while (ctl->granted > desired) {
+            int idx = -1;
+            for (int i = 0; i < static_cast<int>(ctl->parked.size()); ++i) {
+              if (!ctl->parked[i] && ctl->core_of[i] >= 0) {
+                idx = i;
+                break;
+              }
+            }
+            if (idx < 0) {
+              break;
+            }
+            sh->reclaim_flag[idx] = true;
+            ctl->parked[idx] = true;
+            ctl->free_cores.push_back(ctl->core_of[idx]);
+            ctl->core_of[idx] = -1;
+            --ctl->granted;
+            socket_cost += core.costs().socket_rtt_ns;
+          }
+          if (socket_cost > 0) {
+            return Action::Compute(socket_cost);
+          }
+          return Action::Sleep(ctl_period);
+        }),
+        config.cfs_policy, -10, CpuMask::Single(0));
+
+    core.Start();
+    core.RunFor(config.warmup);
+    const Time measure_start = core.now();
+    core.RunFor(config.runtime);
+    McResult result;
+    result.p50 = sh->latencies.Percentile(50.0);
+    result.p99 = sh->latencies.Percentile(99.0);
+    result.completed = sh->completed;
+    const double sec = ToSeconds(core.now() - measure_start);
+    if (sec > 0) {
+      result.achieved_kreq_per_sec = static_cast<double>(sh->completed) / sec / 1e3;
+    }
+    result.avg_cores = cores_acc->mean();
+    return result;
+  }
+
+  core.Start();
+  core.RunFor(config.warmup);
+  const Time measure_start = core.now();
+  core.RunFor(config.runtime);
+  McResult result;
+  result.p50 = sh->latencies.Percentile(50.0);
+  result.p99 = sh->latencies.Percentile(99.0);
+  result.completed = sh->completed;
+  const double sec = ToSeconds(core.now() - measure_start);
+  if (sec > 0) {
+    result.achieved_kreq_per_sec = static_cast<double>(sh->completed) / sec / 1e3;
+  }
+  result.avg_cores = static_cast<double>(core.ncpus());
+  return result;
+}
+
+}  // namespace enoki
+
+#endif  // SRC_WORKLOADS_MEMCACHED_H_

@@ -1,0 +1,142 @@
+// perf bench sched pipe analog (Table 3).
+//
+// Two tasks bounce messages through a pair of pipes: the sender wakes the
+// receiver and immediately blocks until the reply. Each message therefore
+// costs one full schedule operation per side. Latency is reported per
+// wakeup, as in the paper.
+
+#ifndef SRC_WORKLOADS_PIPE_H_
+#define SRC_WORKLOADS_PIPE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/simkernel/bodies.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+struct PipeBenchConfig {
+  uint64_t messages = 100'000;
+  bool same_core = false;       // force both tasks onto one CPU
+  Duration user_work_ns = 150;  // per-message userspace work
+};
+
+struct PipeBenchResult {
+  double usec_per_wakeup = 0.0;
+  Duration elapsed_ns = 0;
+  uint64_t wakeups = 0;
+  bool completed = false;
+};
+
+// Runs the ping-pong on tasks of scheduling policy `policy`. The core must
+// already have its classes registered and Start() not yet called.
+inline PipeBenchResult RunPipeBench(SchedCore& core, int policy, const PipeBenchConfig& config) {
+  auto ping_to_pong = std::make_unique<WaitQueue>("pipe-a");
+  auto pong_to_ping = std::make_unique<WaitQueue>("pipe-b");
+  WaitQueue* ab = ping_to_pong.get();
+  WaitQueue* ba = pong_to_ping.get();
+
+  const CpuMask mask =
+      config.same_core ? CpuMask::Single(0) : CpuMask::All(core.ncpus());
+
+  struct PingState {
+    uint64_t remaining;
+    int step = 0;
+  };
+  auto ping_state = std::make_shared<PingState>(PingState{config.messages});
+  const Duration work = config.user_work_ns;
+
+  std::vector<Task*> pipe_tasks;
+  pipe_tasks.push_back(core.CreateTaskOn(
+      "pipe-ping",
+      MakeFnBody([ab, ba, ping_state, work](SimContext& ctx) -> Action {
+        PingState& s = *ping_state;
+        switch (s.step) {
+          case 0:
+            if (s.remaining == 0) {
+              return Action::Exit();
+            }
+            s.step = 1;
+            return Action::Compute(work);
+          case 1:
+            s.step = 2;
+            return Action::Wake(ab, /*sync=*/true);
+          default:
+            s.step = 0;
+            --s.remaining;
+            return Action::Block(ba);
+        }
+      }),
+      policy, 0, mask));
+
+  auto pong_state = std::make_shared<PingState>(PingState{config.messages});
+  pipe_tasks.push_back(core.CreateTaskOn(
+      "pipe-pong",
+      MakeFnBody([ab, ba, pong_state, work](SimContext& ctx) -> Action {
+        PingState& s = *pong_state;
+        switch (s.step) {
+          case 0:
+            if (s.remaining == 0) {
+              return Action::Exit();
+            }
+            s.step = 1;
+            return Action::Block(ab);
+          case 1:
+            s.step = 2;
+            return Action::Compute(work);
+          default:
+            s.step = 0;
+            --s.remaining;
+            return Action::Wake(ba, /*sync=*/true);
+        }
+      }),
+      policy, 0, mask));
+
+  core.Start();
+  const Time start = core.now();
+  // Generous deadline: 60 us per message.
+  const bool done = core.RunUntilTasksDead(
+      pipe_tasks, start + config.messages * Microseconds(60) + Seconds(1));
+  PipeBenchResult result;
+  result.completed = done;
+  result.elapsed_ns = core.now() - start;
+  result.wakeups = 2 * config.messages;
+  result.usec_per_wakeup =
+      ToMicroseconds(result.elapsed_ns) / static_cast<double>(result.wakeups);
+  return result;
+}
+
+// The Arachne row of Table 3: the ping-pong runs between *user-level*
+// threads multiplexed on a single kernel activation, so each message costs
+// two user-space context switches and never enters the kernel.
+inline PipeBenchResult RunUserThreadPipeBench(SchedCore& core, int policy,
+                                              const PipeBenchConfig& config) {
+  const Duration per_message = 2 * core.costs().user_switch_ns + config.user_work_ns;
+  auto counter = std::make_shared<uint64_t>(config.messages);
+  core.CreateTaskOn("arachne-activation",
+                    MakeFnBody([counter, per_message](SimContext& ctx) -> Action {
+                      if (*counter == 0) {
+                        return Action::Exit();
+                      }
+                      --*counter;
+                      return Action::Compute(per_message);
+                    }),
+                    policy, 0, CpuMask::Single(0));
+  core.Start();
+  const Time start = core.now();
+  const bool done =
+      core.RunUntilAllExit(start + config.messages * Microseconds(10) + Seconds(1));
+  PipeBenchResult result;
+  result.completed = done;
+  result.elapsed_ns = core.now() - start;
+  result.wakeups = 2 * config.messages;
+  result.usec_per_wakeup =
+      ToMicroseconds(result.elapsed_ns) / static_cast<double>(result.wakeups);
+  return result;
+}
+
+}  // namespace enoki
+
+#endif  // SRC_WORKLOADS_PIPE_H_

@@ -1,0 +1,154 @@
+// schbench analog (Tables 4 and 6).
+//
+// A set of message threads each drive a set of worker threads: the message
+// thread wakes every worker, the workers perform a small unit of work and
+// reply, and the message thread waits for all replies before starting the
+// next round. The benchmark reports percentiles of *worker wakeup latency*
+// (runnable -> running), which is what schbench measures.
+//
+// The locality variant (Table 6) sends Enoki hints pairing each worker with
+// its message thread's locality group; the scheduler co-locates them, which
+// converts cross-CPU wakeups of deep-idle cores into same-core handoffs.
+
+#ifndef SRC_WORKLOADS_SCHBENCH_H_
+#define SRC_WORKLOADS_SCHBENCH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/enoki/runtime.h"
+#include "src/simkernel/bodies.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+struct SchbenchConfig {
+  int message_threads = 2;
+  int workers_per_thread = 2;
+  Duration worker_work_ns = Microseconds(30);
+  Duration round_think_ns = Microseconds(500);  // message-thread pause between rounds
+  Duration warmup = Seconds(5);
+  Duration runtime = Seconds(30);
+  // When set, send locality hints pairing each group on one core via this
+  // runtime's hint queue (Table 6 "Hints" column).
+  EnokiRuntime* hint_runtime = nullptr;
+  int hint_queue = -1;
+  // Pin every thread to one core (the Table 6 "CFS One Core" column).
+  bool pin_all_to_one_core = false;
+};
+
+struct SchbenchResult {
+  Duration p50 = 0;
+  Duration p99 = 0;
+  Duration mean = 0;
+  uint64_t wakeups = 0;
+};
+
+inline SchbenchResult RunSchbench(SchedCore& core, int policy, const SchbenchConfig& config) {
+  struct Group {
+    std::vector<std::unique_ptr<WaitQueue>> worker_wqs;
+    std::unique_ptr<WaitQueue> reply_wq;
+  };
+  auto groups = std::make_shared<std::vector<Group>>();
+  auto latencies = std::make_shared<LatencyRecorder>();
+  auto worker_pids = std::make_shared<std::unordered_set<uint64_t>>();
+  const Time measure_from = core.now() + config.warmup;
+
+  core.set_wake_latency_hook([latencies, worker_pids, measure_from, &core](Task* t, Duration lat) {
+    if (core.now() >= measure_from && worker_pids->count(t->pid()) > 0) {
+      latencies->Record(lat);
+    }
+  });
+
+  const CpuMask mask = config.pin_all_to_one_core ? CpuMask::Single(0)
+                                                  : CpuMask::All(core.ncpus());
+
+  groups->reserve(static_cast<size_t>(config.message_threads));
+  for (int m = 0; m < config.message_threads; ++m) {
+    auto& group = groups->emplace_back();
+    group.reply_wq = std::make_unique<WaitQueue>("schbench-reply-" + std::to_string(m));
+    for (int w = 0; w < config.workers_per_thread; ++w) {
+      group.worker_wqs.push_back(
+          std::make_unique<WaitQueue>("schbench-work-" + std::to_string(m)));
+    }
+
+    // Workers: block for a message, work, reply.
+    for (int w = 0; w < config.workers_per_thread; ++w) {
+      WaitQueue* in = group.worker_wqs[w].get();
+      WaitQueue* out = group.reply_wq.get();
+      auto step = std::make_shared<int>(0);
+      const Duration work = config.worker_work_ns;
+      Task* t = core.CreateTaskOn("schbench-worker-" + std::to_string(m) + "-" + std::to_string(w),
+                                  MakeFnBody([in, out, step, work](SimContext& ctx) -> Action {
+                                    switch (*step) {
+                                      case 0:
+                                        *step = 1;
+                                        return Action::Block(in);
+                                      case 1:
+                                        *step = 2;
+                                        return Action::Compute(work);
+                                      default:
+                                        *step = 0;
+                                        return Action::Wake(out);
+                                    }
+                                  }),
+                                  policy, 0, mask);
+      worker_pids->insert(t->pid());
+      if (config.hint_runtime != nullptr) {
+        // Locality hint: this worker belongs to message group m.
+        HintBlob hint;
+        hint.w[0] = t->pid();
+        hint.w[1] = static_cast<uint64_t>(m);
+        config.hint_runtime->SendHint(config.hint_queue, hint);
+      }
+    }
+
+    // Message thread: wake all workers, collect all replies, think, repeat.
+    Group* g = &groups->back();
+    auto state = std::make_shared<int>(0);
+    const int nworkers = config.workers_per_thread;
+    const Duration think = config.round_think_ns;
+    Task* mt = core.CreateTaskOn(
+        "schbench-msg-" + std::to_string(m),
+        MakeFnBody([g, state, nworkers, think](SimContext& ctx) -> Action {
+          // States: 0..n-1 wake worker i; n..2n-1 block for reply; 2n think.
+          const int s = *state;
+          if (s < nworkers) {
+            *state = s + 1;
+            return Action::Wake(g->worker_wqs[s].get());
+          }
+          if (s < 2 * nworkers) {
+            *state = s + 1;
+            return Action::Block(g->reply_wq.get());
+          }
+          *state = 0;
+          return think > 0 ? Action::Sleep(think) : Action::Compute(1);
+        }),
+        policy, 0, mask);
+    if (config.hint_runtime != nullptr) {
+      HintBlob hint;
+      hint.w[0] = mt->pid();
+      hint.w[1] = static_cast<uint64_t>(m);
+      config.hint_runtime->SendHint(config.hint_queue, hint);
+    }
+  }
+
+  core.Start();
+  core.RunFor(config.warmup + config.runtime);
+  core.set_wake_latency_hook(nullptr);
+
+  SchbenchResult result;
+  result.p50 = latencies->Percentile(50.0);
+  result.p99 = latencies->Percentile(99.0);
+  result.mean = static_cast<Duration>(latencies->mean_ns());
+  result.wakeups = latencies->count();
+  return result;
+}
+
+}  // namespace enoki
+
+#endif  // SRC_WORKLOADS_SCHBENCH_H_

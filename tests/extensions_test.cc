@@ -1,0 +1,249 @@
+// Tests for the extension features: policy changes (sched_setscheduler /
+// task_departed), the Nest-style warm-core scheduler, and the C-state
+// ladder they interact with.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/enoki/runtime.h"
+#include "src/sched/cfs.h"
+#include "src/sched/fifo.h"
+#include "src/sched/nest.h"
+#include "src/sched/wfq.h"
+#include "src/simkernel/bodies.h"
+#include "src/workloads/pipe.h"
+
+namespace enoki {
+namespace {
+
+struct TwoPolicySim {
+  TwoPolicySim()
+      : core(MachineSpec::OneSocket8(), SimCosts{}),
+        wfq_runtime(std::make_unique<WfqSched>(0)),
+        fifo_runtime(std::make_unique<FifoSched>(1)) {
+    wfq_policy = core.RegisterClass(&wfq_runtime);
+    fifo_policy = core.RegisterClass(&fifo_runtime);
+    cfs_policy = core.RegisterClass(&cfs);
+  }
+  SchedCore core;
+  EnokiRuntime wfq_runtime;
+  EnokiRuntime fifo_runtime;
+  CfsClass cfs;
+  int wfq_policy = 0;
+  int fifo_policy = 0;
+  int cfs_policy = 0;
+};
+
+TEST(PolicyChange, RunnableTaskMovesBetweenEnokiSchedulers) {
+  TwoPolicySim sim;
+  // Two tasks pinned to one core so one is always queued (runnable).
+  Task* a = sim.core.CreateTaskOn("a", std::make_unique<CpuBoundBody>(Milliseconds(10), Milliseconds(1)),
+                                  sim.wfq_policy, 0, CpuMask::Single(0));
+  Task* b = sim.core.CreateTaskOn("b", std::make_unique<CpuBoundBody>(Milliseconds(10), Milliseconds(1)),
+                                  sim.wfq_policy, 0, CpuMask::Single(0));
+  sim.core.Start();
+  sim.core.RunFor(Milliseconds(2));
+  Task* queued = a->state() == TaskState::kRunnable ? a : b;
+  ASSERT_EQ(queued->state(), TaskState::kRunnable);
+  // Move the queued task to the FIFO policy: the WFQ module must hand back
+  // its Schedulable via task_departed, the FIFO module adopts it.
+  sim.core.SetTaskPolicy(queued, sim.fifo_policy);
+  EXPECT_EQ(queued->policy(), sim.fifo_policy);
+  EXPECT_TRUE(sim.core.RunUntilAllExit(Seconds(10)));
+  EXPECT_EQ(sim.core.pick_errors(), 0u);
+  EXPECT_GE(queued->total_runtime(), Milliseconds(10));
+}
+
+TEST(PolicyChange, RunningTaskForcedOffAndReattached) {
+  TwoPolicySim sim;
+  Task* t = sim.core.CreateTask("t", std::make_unique<CpuBoundBody>(Milliseconds(10), Milliseconds(10)),
+                                sim.wfq_policy);
+  sim.core.Start();
+  sim.core.RunFor(Milliseconds(2));
+  ASSERT_EQ(t->state(), TaskState::kRunning);
+  sim.core.SetTaskPolicy(t, sim.fifo_policy);
+  EXPECT_EQ(t->policy(), sim.fifo_policy);
+  EXPECT_TRUE(sim.core.RunUntilAllExit(Seconds(10)));
+  EXPECT_GE(t->total_runtime(), Milliseconds(10));
+  EXPECT_EQ(sim.core.pick_errors(), 0u);
+}
+
+TEST(PolicyChange, BlockedTaskRetargetsQuietly) {
+  TwoPolicySim sim;
+  auto steps = std::make_shared<int>(0);
+  Task* t = sim.core.CreateTask("t", MakeFnBody([steps](SimContext&) -> Action {
+                                  if (*steps == 0) {
+                                    *steps = 1;
+                                    return Action::Sleep(Milliseconds(5));
+                                  }
+                                  return Action::Exit();
+                                }),
+                                sim.wfq_policy);
+  sim.core.Start();
+  sim.core.RunFor(Milliseconds(1));
+  ASSERT_EQ(t->state(), TaskState::kBlocked);
+  sim.core.SetTaskPolicy(t, sim.fifo_policy);
+  // It wakes under the new policy.
+  EXPECT_TRUE(sim.core.RunUntilAllExit(Seconds(5)));
+  EXPECT_EQ(t->policy(), sim.fifo_policy);
+}
+
+TEST(PolicyChange, EnokiToCfsAndBack) {
+  TwoPolicySim sim;
+  Task* t = sim.core.CreateTask("t", std::make_unique<CpuBoundBody>(Milliseconds(20), Milliseconds(1)),
+                                sim.wfq_policy);
+  sim.core.loop().ScheduleAfter(Milliseconds(3),
+                                [&] { sim.core.SetTaskPolicy(t, sim.cfs_policy); });
+  sim.core.loop().ScheduleAfter(Milliseconds(6),
+                                [&] { sim.core.SetTaskPolicy(t, sim.wfq_policy); });
+  sim.core.Start();
+  EXPECT_TRUE(sim.core.RunUntilAllExit(Seconds(10)));
+  EXPECT_EQ(t->policy(), sim.wfq_policy);
+  EXPECT_GE(t->total_runtime(), Milliseconds(20));
+  EXPECT_EQ(sim.core.pick_errors(), 0u);
+}
+
+TEST(PolicyChange, SamePolicyIsNoOp) {
+  TwoPolicySim sim;
+  Task* t = sim.core.CreateTask("t", std::make_unique<CpuBoundBody>(Milliseconds(1), Milliseconds(1)),
+                                sim.wfq_policy);
+  sim.core.SetTaskPolicy(t, sim.wfq_policy);
+  sim.core.Start();
+  EXPECT_TRUE(sim.core.RunUntilAllExit(Seconds(5)));
+}
+
+// ---- Nest ----
+
+struct NestSim {
+  NestSim() : core(MachineSpec::OneSocket8(), SimCosts{}), runtime(std::make_unique<NestSched>(0)) {
+    policy = core.RegisterClass(&runtime);
+    core.RegisterClass(&cfs);
+  }
+  NestSched* module() { return static_cast<NestSched*>(runtime.module()); }
+  SchedCore core;
+  EnokiRuntime runtime;
+  CfsClass cfs;
+  int policy = 0;
+};
+
+TEST(Nest, CompletesChurnWithoutErrors) {
+  NestSim sim;
+  for (int i = 0; i < 12; ++i) {
+    auto left = std::make_shared<int>(40);
+    sim.core.CreateTask("t", MakeFnBody([left](SimContext&) -> Action {
+                          if (*left == 0) {
+                            return Action::Exit();
+                          }
+                          --*left;
+                          return (*left % 2 == 0) ? Action::Sleep(Microseconds(150))
+                                                  : Action::Compute(Microseconds(100));
+                        }),
+                        sim.policy);
+  }
+  sim.core.Start();
+  EXPECT_TRUE(sim.core.RunUntilAllExit(Seconds(10)));
+  EXPECT_EQ(sim.core.pick_errors(), 0u);
+}
+
+TEST(Nest, ConcentratesFewTasksOnFewCores) {
+  NestSim sim;
+  // Three desynchronized light tasks: their dispatches should concentrate
+  // on a small set of cores rather than using all eight.
+  std::set<int> cpus_used;
+  sim.core.set_wake_latency_hook([&](Task* t, Duration) { cpus_used.insert(t->cpu()); });
+  for (int i = 0; i < 3; ++i) {
+    auto step = std::make_shared<int>(0);
+    const Duration sleep = Microseconds(400) + Microseconds(61) * i;
+    sim.core.CreateTask("t", MakeFnBody([step, sleep](SimContext&) -> Action {
+                          *step ^= 1;
+                          return *step == 1 ? Action::Compute(Microseconds(25))
+                                            : Action::Sleep(sleep);
+                        }),
+                        sim.policy);
+  }
+  sim.core.Start();
+  sim.core.RunFor(Seconds(1));
+  EXPECT_LE(cpus_used.size(), 4u);  // nest, not spread over all 8
+}
+
+TEST(Nest, WarmPlacementBeatsSpreadOnWakeLatency) {
+  auto run = [](bool nest) {
+    SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+    std::unique_ptr<EnokiRuntime> rt;
+    if (nest) {
+      rt = std::make_unique<EnokiRuntime>(std::make_unique<NestSched>(0));
+    } else {
+      rt = std::make_unique<EnokiRuntime>(std::make_unique<FifoSched>(0));
+    }
+    CfsClass cfs;
+    const int policy = core.RegisterClass(rt.get());
+    core.RegisterClass(&cfs);
+    auto latencies = std::make_shared<LatencyRecorder>();
+    core.set_wake_latency_hook([latencies](Task*, Duration lat) { latencies->Record(lat); });
+    for (int i = 0; i < 3; ++i) {
+      auto step = std::make_shared<int>(0);
+      const Duration sleep = Microseconds(480) + Microseconds(57) * i;
+      core.CreateTask("t", MakeFnBody([step, sleep](SimContext&) -> Action {
+                        *step ^= 1;
+                        return *step == 1 ? Action::Compute(Microseconds(20))
+                                          : Action::Sleep(sleep);
+                      }),
+                      policy);
+    }
+    core.Start();
+    core.RunFor(Seconds(2));
+    return latencies->Percentile(50.0);
+  };
+  const Duration spread_p50 = run(false);
+  const Duration nest_p50 = run(true);
+  EXPECT_LT(nest_p50 * 2, spread_p50);  // at least 2x better median
+}
+
+TEST(Nest, SaturatedNestExpands) {
+  NestSim sim;
+  // 8 CPU-bound tasks must still use all cores (the nest grows under load:
+  // work conservation is not sacrificed).
+  for (int i = 0; i < 8; ++i) {
+    sim.core.CreateTask("t", std::make_unique<CpuBoundBody>(Milliseconds(10), Milliseconds(1)),
+                        sim.policy);
+  }
+  sim.core.Start();
+  ASSERT_TRUE(sim.core.RunUntilAllExit(Seconds(5)));
+  // 8 x 10ms on 8 cores: close to 10ms wall, not 80ms serialized.
+  EXPECT_LT(ToSeconds(sim.core.now()), 0.030);
+}
+
+// ---- C-state ladder ----
+
+TEST(IdleLadder, ThreeExitLatencyTiers) {
+  SimCosts costs;
+  auto measure = [&](Duration idle_gap) {
+    SchedCore core(MachineSpec::OneSocket8(), costs);
+    CfsClass cfs;
+    core.RegisterClass(&cfs);
+    auto steps = std::make_shared<int>(0);
+    core.CreateTaskOn("t", MakeFnBody([steps, idle_gap](SimContext&) -> Action {
+                        if (*steps == 0) {
+                          *steps = 1;
+                          return Action::Sleep(idle_gap);
+                        }
+                        return Action::Exit();
+                      }),
+                      0, 0, CpuMask::Single(3));
+    core.Start();
+    core.mutable_wake_latency().Reset();
+    EXPECT_TRUE(core.RunUntilAllExit(Seconds(2)));
+    return core.wake_latency().max();
+  };
+  const Duration shallow = measure(Microseconds(5));
+  const Duration medium = measure(Microseconds(100));
+  const Duration deep = measure(Milliseconds(5));
+  EXPECT_LT(shallow, medium);
+  EXPECT_LT(medium, deep);
+  EXPECT_GE(deep, costs.deep_idle_exit_ns);
+}
+
+}  // namespace
+}  // namespace enoki

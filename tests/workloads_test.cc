@@ -1,0 +1,279 @@
+// Workload harness tests: pipe, schbench, the app suite, the dispersive
+// RocksDB server, and the memcached/Arachne workload — sanity, shape, and
+// determinism.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/enoki/runtime.h"
+#include "src/sched/arbiter.h"
+#include "src/sched/cfs.h"
+#include "src/sched/locality.h"
+#include "src/sched/shinjuku.h"
+#include "src/sched/wfq.h"
+#include "src/workloads/apps.h"
+#include "src/workloads/dispersive.h"
+#include "src/workloads/fairness.h"
+#include "src/workloads/memcached.h"
+#include "src/workloads/pipe.h"
+#include "src/workloads/schbench.h"
+
+namespace enoki {
+namespace {
+
+TEST(PipeWorkload, DeterministicAcrossRuns) {
+  auto run = [] {
+    SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+    CfsClass cfs;
+    core.RegisterClass(&cfs);
+    PipeBenchConfig cfg;
+    cfg.messages = 2000;
+    return RunPipeBench(core, 0, cfg).elapsed_ns;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PipeWorkload, UserThreadVariantIsFarFaster) {
+  SchedCore a(MachineSpec::OneSocket8(), SimCosts{});
+  CfsClass cfs_a;
+  a.RegisterClass(&cfs_a);
+  PipeBenchConfig cfg;
+  cfg.messages = 2000;
+  const double kernel_lat = RunPipeBench(a, 0, cfg).usec_per_wakeup;
+
+  SchedCore b(MachineSpec::OneSocket8(), SimCosts{});
+  CfsClass cfs_b;
+  b.RegisterClass(&cfs_b);
+  const double user_lat = RunUserThreadPipeBench(b, 0, cfg).usec_per_wakeup;
+  // Paper Table 3: Arachne ~0.1-0.2 us vs ~3-4 us for kernel schedulers.
+  EXPECT_LT(user_lat, 0.5);
+  EXPECT_GT(kernel_lat, 5 * user_lat);
+}
+
+TEST(Schbench, ProducesLatencies) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  CfsClass cfs;
+  core.RegisterClass(&cfs);
+  SchbenchConfig cfg;
+  cfg.warmup = Milliseconds(50);
+  cfg.runtime = Milliseconds(500);
+  auto result = RunSchbench(core, 0, cfg);
+  EXPECT_GT(result.wakeups, 100u);
+  EXPECT_GT(result.p99, 0u);
+  EXPECT_GE(result.p99, result.p50);
+}
+
+TEST(Schbench, MoreWorkersRaiseTail) {
+  auto run = [](int workers) {
+    SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+    CfsClass cfs;
+    core.RegisterClass(&cfs);
+    SchbenchConfig cfg;
+    cfg.workers_per_thread = workers;
+    cfg.warmup = Milliseconds(50);
+    cfg.runtime = Milliseconds(800);
+    return RunSchbench(core, 0, cfg);
+  };
+  const auto small = run(2);
+  const auto big = run(16);  // 2x16+2 threads on 8 cores: oversubscribed
+  EXPECT_GT(big.p99, small.p99);
+}
+
+TEST(Schbench, OneCorePinningWrecksTail) {
+  // Table 6's "CFS One Core" column: pinning everything to one core gives a
+  // catastrophic tail versus default placement.
+  auto run = [](bool pin) {
+    SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+    CfsClass cfs;
+    core.RegisterClass(&cfs);
+    SchbenchConfig cfg;
+    cfg.pin_all_to_one_core = pin;
+    cfg.warmup = Milliseconds(50);
+    cfg.runtime = Milliseconds(800);
+    return RunSchbench(core, 0, cfg);
+  };
+  const auto spread = run(false);
+  const auto pinned = run(true);
+  EXPECT_GT(pinned.p99, spread.p99);
+}
+
+TEST(AppSuite, Has36NamedBenchmarks) {
+  const auto suite = Table5Suite(8);
+  ASSERT_EQ(suite.size(), 36u);
+  EXPECT_EQ(suite[0].name, "BT");
+  EXPECT_EQ(suite[9].name, "Arrayfire, 1 (BLAS)");
+}
+
+TEST(AppSuite, SpmdRunsToCompletion) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  CfsClass cfs;
+  core.RegisterClass(&cfs);
+  AppSpec spec{"mini-spmd", AppPattern::kSpmdBarrier, 8, Microseconds(500), 30, 0.05, 0, 1};
+  auto result = RunApp(core, 0, spec);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.score, 0.0);
+}
+
+TEST(AppSuite, EveryPatternCompletesOnCfsAndWfq) {
+  for (AppPattern pattern :
+       {AppPattern::kSpmdBarrier, AppPattern::kForkJoin, AppPattern::kPipeline,
+        AppPattern::kOversubscribed, AppPattern::kIoMixed}) {
+    AppSpec spec{"p", pattern, 6, Microseconds(300), 25, 0.2, Microseconds(100), 3};
+    {
+      SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+      CfsClass cfs;
+      core.RegisterClass(&cfs);
+      EXPECT_TRUE(RunApp(core, 0, spec).completed) << static_cast<int>(pattern) << " cfs";
+    }
+    {
+      SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+      EnokiRuntime runtime(std::make_unique<WfqSched>(0));
+      CfsClass cfs;
+      const int policy = core.RegisterClass(&runtime);
+      core.RegisterClass(&cfs);
+      EXPECT_TRUE(RunApp(core, policy, spec).completed) << static_cast<int>(pattern) << " wfq";
+      EXPECT_EQ(core.pick_errors(), 0u);
+    }
+  }
+}
+
+TEST(AppSuite, ScoreScalesWithCores) {
+  AppSpec spec{"scale", AppPattern::kOversubscribed, 16, Milliseconds(1), 50, 0.0, 0, 1};
+  auto run = [&](int ncpus) {
+    SchedCore core(MachineSpec{ncpus, 1, "test"}, SimCosts{});
+    CfsClass cfs;
+    core.RegisterClass(&cfs);
+    return RunApp(core, 0, spec).score;
+  };
+  EXPECT_GT(run(8), 1.8 * run(2));
+}
+
+TEST(Dispersive, CfsTailBlowsUpShinjukuStaysLow) {
+  // The Figure 2a claim at moderate load: Shinjuku's 10us preemption keeps
+  // GET p99 orders of magnitude below CFS's, where GETs wait behind 10ms
+  // scans.
+  DispersiveConfig cfg;
+  cfg.rate_per_sec = 30'000;
+  cfg.runtime = Seconds(2);
+  Duration cfs_p99;
+  Duration shinjuku_p99;
+  {
+    SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+    CfsClass cfs;
+    const int cfs_policy = core.RegisterClass(&cfs);
+    DispersiveConfig c = cfg;
+    c.worker_policy = cfs_policy;
+    c.cfs_policy = cfs_policy;
+    c.worker_nice = -20;
+    cfs_p99 = RunDispersive(core, c).p99;
+  }
+  {
+    SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+    CpuMask workers;
+    for (int i = cfg.first_worker_cpu; i < cfg.first_worker_cpu + cfg.worker_cores; ++i) {
+      workers.Set(i);
+    }
+    EnokiRuntime runtime(std::make_unique<ShinjukuSched>(
+        0, ShinjukuSched::kDefaultPreemptionSliceNs, workers));
+    CfsClass cfs;
+    const int shj = core.RegisterClass(&runtime);
+    const int cfsp = core.RegisterClass(&cfs);
+    DispersiveConfig c = cfg;
+    c.worker_policy = shj;
+    c.cfs_policy = cfsp;
+    shinjuku_p99 = RunDispersive(core, c).p99;
+    EXPECT_EQ(core.pick_errors(), 0u);
+  }
+  EXPECT_LT(shinjuku_p99, Milliseconds(1));
+  EXPECT_GT(cfs_p99, shinjuku_p99);
+}
+
+TEST(Dispersive, BatchSharesCpuUnderShinjuku) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  CpuMask workers;
+  for (int i = 2; i < 7; ++i) {
+    workers.Set(i);
+  }
+  EnokiRuntime runtime(std::make_unique<ShinjukuSched>(
+      0, ShinjukuSched::kDefaultPreemptionSliceNs, workers));
+  CfsClass cfs;
+  const int shj = core.RegisterClass(&runtime);
+  const int cfsp = core.RegisterClass(&cfs);
+  DispersiveConfig cfg;
+  cfg.rate_per_sec = 20'000;
+  cfg.runtime = Seconds(2);
+  cfg.worker_policy = shj;
+  cfg.cfs_policy = cfsp;
+  cfg.batch_tasks = 5;
+  auto result = RunDispersive(core, cfg);
+  // At 20k req/s the workers need ~1.1 cores of the 5; the batch app should
+  // soak up a decent share of the rest.
+  EXPECT_GT(result.batch_cpus, 1.0);
+  EXPECT_LT(result.batch_cpus, 5.0);
+  // And the latency-sensitive app keeps its tail.
+  EXPECT_LT(result.p99, Milliseconds(1));
+}
+
+TEST(Memcached, CfsModeServesLoad) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  CfsClass cfs;
+  core.RegisterClass(&cfs);
+  McConfig cfg;
+  cfg.rate_per_sec = 100'000;
+  cfg.runtime = Seconds(1);
+  auto result = RunMemcached(core, cfg);
+  EXPECT_GT(result.completed, 50'000u);
+  EXPECT_GT(result.p99, result.p50);
+}
+
+TEST(Memcached, EnokiArachneScalesCores) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  EnokiRuntime runtime(std::make_unique<ArbiterSched>(0, 1, 7));
+  CfsClass cfs;
+  const int arb = core.RegisterClass(&runtime);
+  const int cfsp = core.RegisterClass(&cfs);
+  McConfig cfg;
+  cfg.mode = McMode::kEnokiArachne;
+  cfg.rate_per_sec = 150'000;
+  cfg.runtime = Seconds(1);
+  cfg.cfs_policy = cfsp;
+  cfg.arbiter_policy = arb;
+  cfg.arbiter_runtime = &runtime;
+  cfg.hint_queue = runtime.CreateHintQueue(1024);
+  cfg.rev_queue = runtime.CreateRevQueue(1024);
+  auto result = RunMemcached(core, cfg);
+  EXPECT_GT(result.completed, 50'000u);
+  EXPECT_GE(result.avg_cores, 1.0);
+  EXPECT_LE(result.avg_cores, 7.0);
+  EXPECT_EQ(core.pick_errors(), 0u);
+}
+
+TEST(Memcached, OriginalArachneServesLoad) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  CfsClass cfs;
+  core.RegisterClass(&cfs);
+  McConfig cfg;
+  cfg.mode = McMode::kArachne;
+  cfg.rate_per_sec = 150'000;
+  cfg.runtime = Seconds(1);
+  auto result = RunMemcached(core, cfg);
+  EXPECT_GT(result.completed, 50'000u);
+}
+
+TEST(Fairness, PlacementKeepsTasksPut) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  CfsClass cfs;
+  core.RegisterClass(&cfs);
+  auto result = RunFairness(core, 0, 8, Milliseconds(200), /*same_core=*/false, {});
+  ASSERT_TRUE(result.completed);
+  StatAccumulator acc;
+  for (double c : result.completion_seconds) {
+    acc.Record(c);
+  }
+  // One task per core: very low completion-time variance.
+  EXPECT_LT(acc.stddev(), 0.02);
+}
+
+}  // namespace
+}  // namespace enoki
