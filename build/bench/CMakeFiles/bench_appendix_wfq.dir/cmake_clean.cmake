@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_wfq.dir/bench_appendix_wfq.cc.o"
+  "CMakeFiles/bench_appendix_wfq.dir/bench_appendix_wfq.cc.o.d"
+  "bench_appendix_wfq"
+  "bench_appendix_wfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_arachne.dir/bench_fig3_arachne.cc.o"
+  "CMakeFiles/bench_fig3_arachne.dir/bench_fig3_arachne.cc.o.d"
+  "bench_fig3_arachne"
+  "bench_fig3_arachne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_arachne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

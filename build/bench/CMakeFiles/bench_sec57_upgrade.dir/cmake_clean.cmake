@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec57_upgrade.dir/bench_sec57_upgrade.cc.o"
+  "CMakeFiles/bench_sec57_upgrade.dir/bench_sec57_upgrade.cc.o.d"
+  "bench_sec57_upgrade"
+  "bench_sec57_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec57_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pipe.dir/bench_table3_pipe.cc.o"
+  "CMakeFiles/bench_table3_pipe.dir/bench_table3_pipe.cc.o.d"
+  "bench_table3_pipe"
+  "bench_table3_pipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_schbench.dir/bench_table4_schbench.cc.o"
+  "CMakeFiles/bench_table4_schbench.dir/bench_table4_schbench.cc.o.d"
+  "bench_table4_schbench"
+  "bench_table4_schbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_schbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

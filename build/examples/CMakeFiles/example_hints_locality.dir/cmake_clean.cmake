@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hints_locality.dir/hints_locality.cpp.o"
+  "CMakeFiles/example_hints_locality.dir/hints_locality.cpp.o.d"
+  "example_hints_locality"
+  "example_hints_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hints_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

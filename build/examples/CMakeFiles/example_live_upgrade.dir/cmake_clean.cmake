@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_upgrade.dir/live_upgrade.cpp.o"
+  "CMakeFiles/example_live_upgrade.dir/live_upgrade.cpp.o.d"
+  "example_live_upgrade"
+  "example_live_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

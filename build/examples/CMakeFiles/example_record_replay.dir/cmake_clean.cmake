@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_record_replay.dir/record_replay.cpp.o"
+  "CMakeFiles/example_record_replay.dir/record_replay.cpp.o.d"
+  "example_record_replay"
+  "example_record_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_record_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_inspect.dir/trace_inspect.cpp.o"
+  "CMakeFiles/example_trace_inspect.dir/trace_inspect.cpp.o.d"
+  "example_trace_inspect"
+  "example_trace_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

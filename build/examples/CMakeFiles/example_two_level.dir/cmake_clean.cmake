@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_two_level.dir/two_level.cpp.o"
+  "CMakeFiles/example_two_level.dir/two_level.cpp.o.d"
+  "example_two_level"
+  "example_two_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_two_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enoki_base.dir/log.cc.o"
+  "CMakeFiles/enoki_base.dir/log.cc.o.d"
+  "libenoki_base.a"
+  "libenoki_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enoki_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

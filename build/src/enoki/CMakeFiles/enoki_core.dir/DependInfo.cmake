@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enoki/lock.cc" "src/enoki/CMakeFiles/enoki_core.dir/lock.cc.o" "gcc" "src/enoki/CMakeFiles/enoki_core.dir/lock.cc.o.d"
+  "/root/repo/src/enoki/record.cc" "src/enoki/CMakeFiles/enoki_core.dir/record.cc.o" "gcc" "src/enoki/CMakeFiles/enoki_core.dir/record.cc.o.d"
+  "/root/repo/src/enoki/replay.cc" "src/enoki/CMakeFiles/enoki_core.dir/replay.cc.o" "gcc" "src/enoki/CMakeFiles/enoki_core.dir/replay.cc.o.d"
+  "/root/repo/src/enoki/runtime.cc" "src/enoki/CMakeFiles/enoki_core.dir/runtime.cc.o" "gcc" "src/enoki/CMakeFiles/enoki_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkernel/CMakeFiles/enoki_simkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/enoki_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

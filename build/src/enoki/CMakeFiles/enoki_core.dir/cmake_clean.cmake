@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enoki_core.dir/lock.cc.o"
+  "CMakeFiles/enoki_core.dir/lock.cc.o.d"
+  "CMakeFiles/enoki_core.dir/record.cc.o"
+  "CMakeFiles/enoki_core.dir/record.cc.o.d"
+  "CMakeFiles/enoki_core.dir/replay.cc.o"
+  "CMakeFiles/enoki_core.dir/replay.cc.o.d"
+  "CMakeFiles/enoki_core.dir/runtime.cc.o"
+  "CMakeFiles/enoki_core.dir/runtime.cc.o.d"
+  "libenoki_core.a"
+  "libenoki_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enoki_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

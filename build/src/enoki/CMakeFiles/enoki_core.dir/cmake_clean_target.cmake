@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenoki_core.a"
+)

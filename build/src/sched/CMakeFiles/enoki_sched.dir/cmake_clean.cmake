@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enoki_sched.dir/cfs.cc.o"
+  "CMakeFiles/enoki_sched.dir/cfs.cc.o.d"
+  "CMakeFiles/enoki_sched.dir/ghost.cc.o"
+  "CMakeFiles/enoki_sched.dir/ghost.cc.o.d"
+  "CMakeFiles/enoki_sched.dir/wfq.cc.o"
+  "CMakeFiles/enoki_sched.dir/wfq.cc.o.d"
+  "libenoki_sched.a"
+  "libenoki_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enoki_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

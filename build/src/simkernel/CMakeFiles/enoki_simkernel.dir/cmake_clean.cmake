@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enoki_simkernel.dir/sched_core.cc.o"
+  "CMakeFiles/enoki_simkernel.dir/sched_core.cc.o.d"
+  "libenoki_simkernel.a"
+  "libenoki_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enoki_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

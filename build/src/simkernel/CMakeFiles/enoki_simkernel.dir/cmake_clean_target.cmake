@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenoki_simkernel.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enoki_workloads.dir/apps.cc.o"
+  "CMakeFiles/enoki_workloads.dir/apps.cc.o.d"
+  "libenoki_workloads.a"
+  "libenoki_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enoki_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enoki_test.dir/enoki_test.cc.o"
+  "CMakeFiles/enoki_test.dir/enoki_test.cc.o.d"
+  "enoki_test"
+  "enoki_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enoki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

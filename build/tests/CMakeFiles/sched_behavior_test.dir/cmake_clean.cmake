@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_behavior_test.dir/sched_behavior_test.cc.o"
+  "CMakeFiles/sched_behavior_test.dir/sched_behavior_test.cc.o.d"
+  "sched_behavior_test"
+  "sched_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
