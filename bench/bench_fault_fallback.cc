@@ -1,0 +1,94 @@
+// Fault-containment cost: what does a watchdog trip cost the machine,
+// compared with the planned live upgrade it is built on top of?
+//
+// The fallback path reuses the upgrade quiesce machinery (swap + per-CPU
+// drain) and then re-policies every module task onto CFS, so its pause is
+// the upgrade pause plus a per-task re-policy term. We trip the watchdog
+// manually (AbortModule) at a fixed instant while schbench runs, read the
+// pause out of the CrashReport, and put it next to a live upgrade measured
+// on an identical stack. Shape check: both grow ~linearly with core count;
+// fallback adds a component linear in the number of rescued tasks.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/sched/wfq.h"
+#include "src/workloads/schbench.h"
+
+namespace enoki {
+namespace {
+
+struct Result {
+  double upgrade_pause_us = 0;
+  double fallback_pause_us = 0;
+  uint64_t tasks_repolicied = 0;
+};
+
+Result Measure(MachineSpec spec, int workers) {
+  SchbenchConfig cfg;
+  cfg.workers_per_thread = workers;
+  cfg.warmup = Milliseconds(500);
+  cfg.runtime = Seconds(2);
+
+  Result r;
+  {
+    // Live upgrade on a healthy module: the baseline interruption.
+    Stack s = MakeEnokiStack(std::make_unique<WfqSched>(0), spec);
+    EnokiRuntime* runtime = s.runtime.get();
+    s.core->loop().ScheduleAfter(Seconds(1), [runtime, &r] {
+      auto report = runtime->Upgrade(std::make_unique<WfqSched>(0));
+      if (report.ok) r.upgrade_pause_us = ToMicroseconds(report.pause_ns);
+    });
+    RunSchbench(*s.core, s.policy, cfg);
+  }
+  {
+    // Watchdog trip at the same instant: quiesce + rescue every task.
+    Stack s = MakeEnokiStack(std::make_unique<WfqSched>(0), spec);
+    EnokiRuntime* runtime = s.runtime.get();
+    runtime->EnableWatchdog(WatchdogConfig{}, s.cfs_policy);
+    s.core->loop().ScheduleAfter(Seconds(1), [runtime] {
+      runtime->AbortModule("bench: simulated module failure");
+    });
+    RunSchbench(*s.core, s.policy, cfg);
+    if (runtime->crash_report()) {
+      r.fallback_pause_us = ToMicroseconds(runtime->crash_report()->fallback_pause_ns);
+      r.tasks_repolicied = runtime->crash_report()->tasks_repolicied;
+    }
+  }
+  return r;
+}
+
+void Run() {
+  std::printf("Fault containment: watchdog-fallback pause vs live-upgrade pause\n"
+              "(schbench running; trip/upgrade fired at t=1s)\n\n");
+  std::printf("%-40s %10s %10s %8s\n", "Machine / workload", "upgrade", "fallback", "tasks");
+  struct Case {
+    MachineSpec spec;
+    int workers;
+  };
+  const Case cases[] = {
+      {MachineSpec::OneSocket8(), 2},
+      {MachineSpec::OneSocket8(), 16},
+      {MachineSpec::TwoSocket80(), 2},
+      {MachineSpec::TwoSocket80(), 40},
+  };
+  for (const Case& c : cases) {
+    const Result r = Measure(c.spec, c.workers);
+    std::printf("%-33s 2x%-3d %8.1fus %8.1fus %8llu\n", c.spec.name.c_str(), c.workers,
+                r.upgrade_pause_us, r.fallback_pause_us,
+                static_cast<unsigned long long>(r.tasks_repolicied));
+  }
+  std::printf("\nShape check: both pauses grow ~linearly with core count; the fallback\n"
+              "pause exceeds the upgrade pause by ~%d ns per rescued task, so crashing a\n"
+              "module stays in the same cost class as upgrading it.\n",
+              static_cast<int>(SimCosts{}.fallback_pertask_ns));
+}
+
+}  // namespace
+}  // namespace enoki
+
+int main() {
+  enoki::Run();
+  return 0;
+}

@@ -157,6 +157,14 @@ class EnokiKernelEnv {
   // Requests that `cpu` re-enter the scheduler (resched IPI).
   virtual void ReschedCpu(int cpu) = 0;
 
+  // Declares that the module spent `d` of CPU time inside the current
+  // callback (beyond the framework's fixed per-call overhead). The runtime
+  // charges it through the cost model and counts it against the watchdog's
+  // per-callback budget; the replay environment ignores it. This is how a
+  // module's own computation — or a FaultInjector's pathological spin —
+  // becomes visible to both the simulation clock and fault containment.
+  virtual void BusyWait(int cpu, Duration d) {}
+
   // Pushes a kernel-to-user hint onto reverse queue `queue_id`.
   virtual void PushRevHint(int queue_id, const HintBlob& hint) = 0;
 };

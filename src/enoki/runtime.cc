@@ -1,5 +1,8 @@
 #include "src/enoki/runtime.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 #include "src/base/log.h"
@@ -74,13 +77,169 @@ void EnokiRuntime::Record(RecordEntry entry) {
   }
 }
 
+// ---- Fault containment ----
+
+template <typename Fn>
+bool EnokiRuntime::Guarded(const char* site, Fn&& fn) {
+  bool ok = true;
+  try {
+    fn();
+  } catch (const std::exception& ex) {
+    ok = false;
+    HandleEscape(site, ex.what());
+  } catch (...) {
+    ok = false;
+    HandleEscape(site, "non-standard exception");
+  }
+  if (ok) {
+    FinishCall(site);
+  }
+  return ok;
+}
+
+void EnokiRuntime::HandleEscape(const char* site, const char* what) {
+  ++escaped_exceptions_;
+  callback_busy_ns_ = 0;
+  if (watchdog_ == nullptr) {
+    throw;  // containment off: the exception keeps its pre-watchdog behavior
+  }
+  ENOKI_WARN("enoki: exception escaped %s: %s", site, what);
+  if (!quarantined_ && watchdog_->OnEscapedException() != TripReason::kNone) {
+    TripWatchdog(TripReason::kEscapedException, std::string(site) + ": " + what);
+  }
+}
+
+void EnokiRuntime::FinishCall(const char* site) {
+  const Duration busy = callback_busy_ns_;
+  callback_busy_ns_ = 0;
+  if (watchdog_ == nullptr || quarantined_) {
+    return;
+  }
+  const Duration lat = core_->costs().enoki_call_ns + busy;
+  if (watchdog_->OnCallbackLatency(lat) != TripReason::kNone) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s consumed %" PRIu64 "ns (budget %" PRIu64 "ns)", site,
+                  static_cast<uint64_t>(lat),
+                  static_cast<uint64_t>(watchdog_->config().callback_budget_ns));
+    TripWatchdog(TripReason::kCallbackBudget, buf);
+  }
+}
+
+void EnokiRuntime::EnableWatchdog(const WatchdogConfig& config, int fallback_policy) {
+  ENOKI_CHECK(core_ != nullptr);  // Attach first: the starvation bound lives in the core
+  ENOKI_CHECK(fallback_policy >= 0);
+  ENOKI_CHECK(core_->ClassForPolicy(fallback_policy) != this);
+  watchdog_ = std::make_unique<Watchdog>(config);
+  fallback_policy_ = fallback_policy;
+  if (config.starvation_bound_ns > 0) {
+    core_->set_starvation_bound(config.starvation_bound_ns);
+  }
+}
+
+void EnokiRuntime::AbortModule(const std::string& reason) {
+  ENOKI_CHECK(watchdog_ != nullptr);
+  TripWatchdog(TripReason::kManual, reason);
+}
+
+void EnokiRuntime::TripWatchdog(TripReason reason, std::string detail) {
+  if (quarantined_ || watchdog_ == nullptr) {
+    return;
+  }
+  quarantined_ = true;
+  CrashReport report = watchdog_->BuildReport(reason, std::move(detail), core_->now());
+  // The runtime's counters are authoritative: they also cover events from
+  // before EnableWatchdog.
+  report.module_calls = module_calls_;
+  report.pick_errors = pick_errors_;
+  report.balance_errors = balance_errors_;
+  report.escaped_exceptions = escaped_exceptions_;
+  if (recorder_ != nullptr) {
+    recorder_->Drain();
+    const auto& log = recorder_->log();
+    const size_t n = std::min(log.size(), watchdog_->config().crash_ring_entries);
+    report.last_calls.assign(log.end() - static_cast<std::ptrdiff_t>(n), log.end());
+  }
+  crash_report_ = std::move(report);
+  ENOKI_WARN("enoki: watchdog tripped (%s): %s; quarantining module",
+             TripReasonName(crash_report_->reason), crash_report_->detail.c_str());
+  // The trip can fire deep inside a scheduling operation (mid-pick,
+  // mid-wakeup). Defer the fallback sweep to a clean event boundary.
+  core_->loop().ScheduleAfter(0, [this] { ExecuteFallback(); });
+}
+
+void EnokiRuntime::ExecuteFallback() {
+  ENOKI_CHECK(quarantined_);
+  if (fallback_done_) {
+    return;
+  }
+  // Wait out any context-switch window: a task mid-dispatch is still
+  // kRunnable but already picked; re-policying it now would double-attach
+  // it. Quarantined picks return nullptr, so no new window can open for
+  // this class while we wait.
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    if (core_->CpuInSwitch(cpu)) {
+      core_->loop().ScheduleAfter(core_->costs().context_switch_ns,
+                                  [this] { ExecuteFallback(); });
+      return;
+    }
+  }
+  fallback_done_ = true;
+  // Best-effort quiesce through the upgrade path: the module gets the same
+  // prepare callback a live upgrade would send, so a well-behaved module
+  // sees a clean shutdown. Its state goes nowhere — there is no successor.
+  try {
+    (void)module_->ReregisterPrepare();
+  } catch (...) {
+    // Already condemned; a throw here changes nothing.
+  }
+  uint64_t moved = 0;
+  for (const auto& tp : core_->tasks()) {
+    Task* t = tp.get();
+    if (t->sched_class() != this || t->state() == TaskState::kDead) {
+      continue;
+    }
+    core_->SetTaskPolicy(t, fallback_policy_);
+    ++moved;
+  }
+  const SimCosts& costs = core_->costs();
+  const Duration pause = costs.upgrade_swap_ns +
+                         static_cast<Duration>(core_->ncpus()) * costs.upgrade_percpu_drain_ns +
+                         static_cast<Duration>(moved) * costs.fallback_pertask_ns;
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    core_->ChargeCpu(cpu, pause);
+  }
+  if (crash_report_.has_value()) {
+    crash_report_->tasks_repolicied = moved;
+    crash_report_->fallback_pause_ns = pause;
+  }
+  ENOKI_WARN("enoki: fallback complete: %" PRIu64 " tasks re-policied to policy %d, pause %" PRIu64
+             "ns",
+             moved, fallback_policy_, static_cast<uint64_t>(pause));
+}
+
+void EnokiRuntime::OnTaskStarved(Task* t, Duration runnable_ns) {
+  if (watchdog_ == nullptr || quarantined_) {
+    return;
+  }
+  if (watchdog_->OnStarvation(t->pid(), runnable_ns) != TripReason::kNone) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "pid %" PRIu64 " runnable for %" PRIu64 "ns", t->pid(),
+                  static_cast<uint64_t>(runnable_ns));
+    TripWatchdog(TripReason::kStarvation, buf);
+  }
+}
+
 void EnokiRuntime::DrainHints() {
-  for (size_t qid = 0; qid < user_queues_.size(); ++qid) {
+  for (size_t qid = 0; qid < user_queues_.size() && !quarantined_; ++qid) {
     HintQueue* q = user_queues_[qid].get();
     if (q == nullptr) {
       continue;
     }
-    while (auto hint = q->Pop()) {
+    while (!quarantined_) {
+      auto hint = q->Pop();
+      if (!hint.has_value()) {
+        break;
+      }
       RecordEntry e;
       e.type = RecordType::kParseHint;
       e.arg[0] = hint->w[0];
@@ -88,18 +247,29 @@ void EnokiRuntime::DrainHints() {
       e.arg[2] = hint->w[2];
       e.arg[3] = hint->w[3];
       Record(e);
-      module_->ParseHint(*hint);
+      Guarded("parse_hint", [&] { module_->ParseHint(*hint); });
     }
   }
 }
 
 int EnokiRuntime::SelectTaskRq(Task* t, int prev_cpu, bool wake_sync, bool is_new) {
+  const int home = prev_cpu >= 0 ? prev_cpu : 0;
+  const int safe = t->affinity().Test(home) ? home : t->affinity().First();
+  if (quarantined_) {
+    return safe;
+  }
   DrainHints();
-  SetCurrentKthread(prev_cpu >= 0 ? prev_cpu : 0);
+  if (quarantined_) {
+    return safe;
+  }
+  SetCurrentKthread(home);
   TaskMessage msg = MakeMsg(t, prev_cpu, wake_sync);
   msg.is_new = is_new;
-  Charge(prev_cpu >= 0 ? prev_cpu : 0);
-  const int cpu = module_->SelectTaskRq(msg);
+  Charge(home);
+  int cpu = -1;
+  if (!Guarded("select_task_rq", [&] { cpu = module_->SelectTaskRq(msg); })) {
+    return safe;
+  }
   RecordEntry e;
   e.type = RecordType::kSelectTaskRq;
   e.pid = t->pid();
@@ -114,14 +284,30 @@ int EnokiRuntime::SelectTaskRq(Task* t, int prev_cpu, bool wake_sync, bool is_ne
   if (cpu < 0 || cpu >= core_->ncpus() || !t->affinity().Test(cpu)) {
     ENOKI_DEBUG("enoki: module chose invalid cpu %d for pid %llu", cpu,
                static_cast<unsigned long long>(t->pid()));
-    return t->affinity().Test(prev_cpu) ? prev_cpu : t->affinity().First();
+    return safe;
   }
   return cpu;
 }
 
 void EnokiRuntime::EnqueueTask(int cpu, Task* t, bool wakeup) {
-  SetCurrentKthread(cpu);
   queued_[cpu].insert(t->pid());
+  if (quarantined_) {
+    // The quarantined module sees nothing. Tasks that reach this class after
+    // the fallback sweep (freshly created with its policy, or woken from a
+    // long block) are handed to the fallback class at the next event
+    // boundary; until then the nullptr pick keeps them parked here.
+    if (fallback_done_) {
+      const uint64_t pid = t->pid();
+      core_->loop().ScheduleAfter(0, [this, pid] {
+        Task* late = core_->FindTask(pid);
+        if (late != nullptr && late->sched_class() == this && late->state() != TaskState::kDead) {
+          core_->SetTaskPolicy(late, fallback_policy_);
+        }
+      });
+    }
+    return;
+  }
+  SetCurrentKthread(cpu);
   TaskMessage msg = MakeMsg(t, cpu);
   Charge(cpu);
   RecordEntry e;
@@ -131,15 +317,17 @@ void EnokiRuntime::EnqueueTask(int cpu, Task* t, bool wakeup) {
   e.runtime = msg.runtime;
   e.arg[0] = static_cast<uint64_t>(t->nice() - kMinNice);
   Record(e);
+  // If the callback throws, the freshly minted token dies in the unwind and
+  // the module may never learn of the task — the classic lost-wakeup bug.
+  // The starvation detector is what rescues the task in that case.
   if (wakeup) {
-    module_->TaskWakeup(msg, Mint(t, cpu));
+    Guarded("task_wakeup", [&] { module_->TaskWakeup(msg, Mint(t, cpu)); });
   } else {
-    module_->TaskNew(msg, Mint(t, cpu));
+    Guarded("task_new", [&] { module_->TaskNew(msg, Mint(t, cpu)); });
   }
 }
 
 void EnokiRuntime::DequeueTask(int cpu, Task* t, DequeueReason reason) {
-  SetCurrentKthread(cpu);
   if (running_[cpu] == t->pid()) {
     running_[cpu] = 0;
   } else {
@@ -147,6 +335,10 @@ void EnokiRuntime::DequeueTask(int cpu, Task* t, DequeueReason reason) {
   }
   // Invalidate any token the module still holds for this task.
   ++t->token_generation_;
+  if (quarantined_) {
+    return;
+  }
+  SetCurrentKthread(cpu);
   TaskMessage msg = MakeMsg(t, cpu);
   Charge(cpu);
   RecordEntry e;
@@ -157,20 +349,21 @@ void EnokiRuntime::DequeueTask(int cpu, Task* t, DequeueReason reason) {
     case DequeueReason::kBlocked:
       e.type = RecordType::kTaskBlocked;
       Record(e);
-      module_->TaskBlocked(msg);
+      Guarded("task_blocked", [&] { module_->TaskBlocked(msg); });
       break;
     case DequeueReason::kDead:
       e.type = RecordType::kTaskDead;
       Record(e);
-      module_->TaskDead(t->pid());
+      Guarded("task_dead", [&] { module_->TaskDead(t->pid()); });
       break;
     case DequeueReason::kDeparted: {
       e.type = RecordType::kTaskDeparted;
-      auto token = module_->TaskDeparted(msg);
+      std::optional<Schedulable> token;
+      const bool ok = Guarded("task_departed", [&] { token = module_->TaskDeparted(msg); });
       e.has_resp = true;
       e.resp0 = token.has_value() ? token->pid() : 0;
       Record(e);
-      if (!token.has_value() || token->pid() != t->pid()) {
+      if (ok && (!token.has_value() || token->pid() != t->pid())) {
         ENOKI_WARN("enoki: task_departed returned wrong token for pid %llu",
                    static_cast<unsigned long long>(t->pid()));
       }
@@ -180,10 +373,19 @@ void EnokiRuntime::DequeueTask(int cpu, Task* t, DequeueReason reason) {
 }
 
 Task* EnokiRuntime::PickNextTask(int cpu) {
+  if (quarantined_) {
+    return nullptr;  // cede the CPU to lower classes (the fallback)
+  }
   DrainHints();
+  if (quarantined_) {
+    return nullptr;
+  }
   SetCurrentKthread(cpu);
   Charge(cpu);
-  auto token = module_->PickNextTask(cpu, std::nullopt);
+  std::optional<Schedulable> token;
+  if (!Guarded("pick_next_task", [&] { token = module_->PickNextTask(cpu, std::nullopt); })) {
+    return nullptr;  // a thrown pick is an idle pick
+  }
   RecordEntry e;
   e.type = RecordType::kPickNextTask;
   e.cpu = cpu;
@@ -206,7 +408,11 @@ Task* EnokiRuntime::PickNextTask(int cpu) {
     err.pid = token->pid();
     Record(err);
     Charge(cpu);
-    module_->PntErr(cpu, std::move(token));
+    Guarded("pnt_err", [&] { module_->PntErr(cpu, std::move(token)); });
+    if (watchdog_ != nullptr && !quarantined_ &&
+        watchdog_->OnPickError() != TripReason::kNone) {
+      TripWatchdog(TripReason::kPickErrors, "repeated pick_next_task validation failures");
+    }
     return nullptr;
   }
   // Consume the proof: the token the module returned is spent.
@@ -217,11 +423,14 @@ Task* EnokiRuntime::PickNextTask(int cpu) {
 }
 
 void EnokiRuntime::TaskPreempted(int cpu, Task* t) {
-  SetCurrentKthread(cpu);
   if (running_[cpu] == t->pid()) {
     running_[cpu] = 0;
   }
   queued_[cpu].insert(t->pid());
+  if (quarantined_) {
+    return;
+  }
+  SetCurrentKthread(cpu);
   TaskMessage msg = MakeMsg(t, cpu);
   Charge(cpu);
   RecordEntry e;
@@ -230,15 +439,18 @@ void EnokiRuntime::TaskPreempted(int cpu, Task* t) {
   e.cpu = cpu;
   e.runtime = msg.runtime;
   Record(e);
-  module_->TaskPreempt(msg, Mint(t, cpu));
+  Guarded("task_preempt", [&] { module_->TaskPreempt(msg, Mint(t, cpu)); });
 }
 
 void EnokiRuntime::TaskYielded(int cpu, Task* t) {
-  SetCurrentKthread(cpu);
   if (running_[cpu] == t->pid()) {
     running_[cpu] = 0;
   }
   queued_[cpu].insert(t->pid());
+  if (quarantined_) {
+    return;
+  }
+  SetCurrentKthread(cpu);
   TaskMessage msg = MakeMsg(t, cpu);
   Charge(cpu);
   RecordEntry e;
@@ -247,13 +459,19 @@ void EnokiRuntime::TaskYielded(int cpu, Task* t) {
   e.cpu = cpu;
   e.runtime = msg.runtime;
   Record(e);
-  module_->TaskYield(msg, Mint(t, cpu));
+  Guarded("task_yield", [&] { module_->TaskYield(msg, Mint(t, cpu)); });
 }
 
 void EnokiRuntime::TaskTick(int cpu, Task* t) {
+  if (quarantined_) {
+    return;
+  }
   // enter_queue: hints are also drained on the tick path so they stay
   // timely even when no scheduling decisions are pending.
   DrainHints();
+  if (quarantined_) {
+    return;
+  }
   SetCurrentKthread(cpu);
   Charge(cpu);
   const Duration runtime = core_->TaskRuntime(t);
@@ -263,13 +481,19 @@ void EnokiRuntime::TaskTick(int cpu, Task* t) {
   e.cpu = cpu;
   e.runtime = runtime;
   Record(e);
-  module_->TaskTick(cpu, t->pid(), runtime);
+  Guarded("task_tick", [&] { module_->TaskTick(cpu, t->pid(), runtime); });
 }
 
 bool EnokiRuntime::Balance(int cpu) {
+  if (quarantined_) {
+    return false;
+  }
   SetCurrentKthread(cpu);
   Charge(cpu);
-  auto pid = module_->Balance(cpu);
+  std::optional<uint64_t> pid;
+  if (!Guarded("balance", [&] { pid = module_->Balance(cpu); })) {
+    return false;
+  }
   RecordEntry e;
   e.type = RecordType::kBalance;
   e.cpu = cpu;
@@ -280,9 +504,13 @@ bool EnokiRuntime::Balance(int cpu) {
     return false;
   }
   Task* t = core_->FindTask(*pid);
-  const bool movable = t != nullptr && t->state() == TaskState::kRunnable && t->cpu() != cpu &&
-                       queued_[t->cpu()].count(*pid) > 0 && t->affinity().Test(cpu) &&
-                       !core_->CpuKickPending(t->cpu());
+  // An offer can fail for two very different reasons: the task is genuinely
+  // not movable (dead, not runnable, wrong queue, affinity) — a module bug —
+  // or its CPU already has a wakeup dispatch in flight, which is a benign
+  // race any correct module can lose. Only the former feeds the watchdog.
+  const bool valid_offer = t != nullptr && t->state() == TaskState::kRunnable && t->cpu() != cpu &&
+                           queued_[t->cpu()].count(*pid) > 0 && t->affinity().Test(cpu);
+  const bool movable = valid_offer && !core_->CpuKickPending(t->cpu());
   if (!movable) {
     ++balance_errors_;
     RecordEntry err;
@@ -291,7 +519,11 @@ bool EnokiRuntime::Balance(int cpu) {
     err.pid = *pid;
     Record(err);
     Charge(cpu);
-    module_->BalanceErr(cpu, *pid, std::nullopt);
+    Guarded("balance_err", [&] { module_->BalanceErr(cpu, *pid, std::nullopt); });
+    if (!valid_offer && watchdog_ != nullptr && !quarantined_ &&
+        watchdog_->OnBalanceError() != TripReason::kNone) {
+      TripWatchdog(TripReason::kBalanceErrors, "repeated balance validation failures");
+    }
     return false;
   }
   const int from = t->cpu();
@@ -302,16 +534,24 @@ bool EnokiRuntime::Balance(int cpu) {
   mig.to_cpu = cpu;
   mig.runtime = core_->TaskRuntime(t);
   Charge(cpu);
-  Schedulable old_token = module_->MigrateTaskRq(mig, Mint(t, cpu));
+  std::optional<Schedulable> old_token;
+  if (!Guarded("migrate_task_rq",
+               [&] { old_token = module_->MigrateTaskRq(mig, Mint(t, cpu)); })) {
+    // The migration never happened: put the bookkeeping back. Any token the
+    // module still holds is stale (Mint bumped the generation), so a later
+    // pick of this pid bounces through pnt_err until the module recovers.
+    queued_[from].insert(*pid);
+    return false;
+  }
   RecordEntry me;
   me.type = RecordType::kMigrateTaskRq;
   me.pid = *pid;
   me.cpu = cpu;
   me.arg[0] = static_cast<uint64_t>(from);
   me.has_resp = true;
-  me.resp0 = old_token.valid() ? old_token.pid() : 0;
+  me.resp0 = old_token.has_value() && old_token->valid() ? old_token->pid() : 0;
   Record(me);
-  if (!old_token.valid() || old_token.pid() != *pid) {
+  if (!old_token.has_value() || !old_token->valid() || old_token->pid() != *pid) {
     // Best-effort check: the paper notes the old token cannot be fully
     // validated (section 3.1).
     ENOKI_WARN("enoki: migrate_task_rq returned unexpected token for pid %llu",
@@ -323,16 +563,22 @@ bool EnokiRuntime::Balance(int cpu) {
 }
 
 void EnokiRuntime::TimerFired(int cpu) {
+  if (quarantined_) {
+    return;
+  }
   SetCurrentKthread(cpu);
   Charge(cpu);
   RecordEntry e;
   e.type = RecordType::kTimerFired;
   e.cpu = cpu;
   Record(e);
-  module_->TimerFired(cpu);
+  Guarded("timer_fired", [&] { module_->TimerFired(cpu); });
 }
 
 void EnokiRuntime::AffinityChanged(Task* t) {
+  if (quarantined_) {
+    return;
+  }
   Charge(t->cpu());
   RecordEntry e;
   e.type = RecordType::kAffinityChanged;
@@ -340,17 +586,20 @@ void EnokiRuntime::AffinityChanged(Task* t) {
   e.arg[0] = t->affinity().word(0);
   e.arg[1] = t->affinity().word(1);
   Record(e);
-  module_->TaskAffinityChanged(t->pid(), t->affinity());
+  Guarded("affinity_changed", [&] { module_->TaskAffinityChanged(t->pid(), t->affinity()); });
 }
 
 void EnokiRuntime::PrioChanged(Task* t) {
+  if (quarantined_) {
+    return;
+  }
   Charge(t->cpu());
   RecordEntry e;
   e.type = RecordType::kPrioChanged;
   e.pid = t->pid();
   e.arg[0] = static_cast<uint64_t>(t->nice() - kMinNice);
   Record(e);
-  module_->TaskPrioChanged(t->pid(), t->nice());
+  Guarded("prio_changed", [&] { module_->TaskPrioChanged(t->pid(), t->nice()); });
 }
 
 Time EnokiRuntime::Now() const { return core_->now(); }
@@ -363,6 +612,14 @@ void EnokiRuntime::ArmTimer(int cpu, Duration delay) {
 }
 
 void EnokiRuntime::ReschedCpu(int cpu) { core_->KickCpu(cpu); }
+
+void EnokiRuntime::BusyWait(int cpu, Duration d) {
+  if (cpu < 0 || cpu >= core_->ncpus()) {
+    cpu = 0;
+  }
+  core_->ChargeCpu(cpu, d);
+  callback_busy_ns_ += d;
+}
 
 void EnokiRuntime::PushRevHint(int queue_id, const HintBlob& hint) {
   ENOKI_CHECK(queue_id >= 0 && queue_id < static_cast<int>(rev_queues_.size()));
@@ -406,6 +663,10 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next) {
     report.error = "null module";
     return report;
   }
+  if (quarantined_) {
+    report.error = "module quarantined by watchdog; upgrade refused";
+    return report;
+  }
   const SimCosts& costs = core_->costs();
   // Quiesce: acquire the per-scheduler read-write lock in write mode. The
   // pause is the reader drain (one in-flight call per CPU in the worst
@@ -413,11 +674,39 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next) {
   Duration pause = costs.upgrade_swap_ns + 2 * costs.enoki_call_ns;
   pause += static_cast<Duration>(core_->ncpus()) * costs.upgrade_percpu_drain_ns;
 
-  TransferState state = module_->ReregisterPrepare();
+  TransferState state;
+  try {
+    state = module_->ReregisterPrepare();
+  } catch (const std::exception& ex) {
+    // The old module would not quiesce. Abort before the swap: it stays
+    // installed and keeps running; no pause is charged because the write
+    // lock was released without a handoff.
+    report.error = std::string("module refused to quiesce: ") + ex.what();
+    return report;
+  }
   next->Attach(this);
-  next->ReregisterInit(std::move(state));
+  EnokiSched* incoming = next.get();
   module_ = std::move(next);
   ++upgrades_;
+  try {
+    incoming->ReregisterInit(std::move(state));
+  } catch (const std::exception& ex) {
+    // The swap already happened and the old module's state is gone: the new
+    // module is installed but broken. With a watchdog this is a containment
+    // event (quarantine + fallback, zero task loss); without one the caller
+    // only gets the error report.
+    report.error = std::string("new module rejected transferred state: ") + ex.what();
+    report.pause_ns = pause;
+    ++escaped_exceptions_;
+    for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+      core_->ChargeCpu(cpu, pause);
+    }
+    ENOKI_WARN("enoki: upgrade failed after swap: %s", report.error.c_str());
+    if (watchdog_ != nullptr) {
+      TripWatchdog(TripReason::kUpgradeFailure, report.error);
+    }
+    return report;
+  }
 
   // Every CPU's next scheduling operation is delayed by the blackout.
   for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {

@@ -24,6 +24,7 @@
 #include "src/base/time.h"
 #include "src/enoki/api.h"
 #include "src/enoki/record.h"
+#include "src/fault/watchdog.h"
 #include "src/simkernel/sched_class.h"
 #include "src/simkernel/sched_core.h"
 
@@ -55,6 +56,7 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   void TimerFired(int cpu) override;
   void AffinityChanged(Task* t) override;
   void PrioChanged(Task* t) override;
+  void OnTaskStarved(Task* t, Duration runnable_ns) override;
 
   // ---- EnokiKernelEnv (services for the module) ----
   Time Now() const override;
@@ -62,6 +64,7 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   int NodeOf(int cpu) const override;
   void ArmTimer(int cpu, Duration delay) override;
   void ReschedCpu(int cpu) override;
+  void BusyWait(int cpu, Duration d) override;
   void PushRevHint(int queue_id, const HintBlob& hint) override;
 
   // ---- Hint queues (userspace side) ----
@@ -78,6 +81,23 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   // ---- Live upgrade (section 3.2) ----
   UpgradeReport Upgrade(std::unique_ptr<EnokiSched> next);
 
+  // ---- Fault containment (src/fault) ----
+  // Arms the watchdog. `fallback_policy` names the registered class
+  // (typically CFS) that inherits this module's tasks on a trip. Must be
+  // called after Attach; installs the watchdog's starvation bound into the
+  // core. Without a watchdog the runtime keeps its historical behavior:
+  // module exceptions propagate and only token validation contains faults.
+  void EnableWatchdog(const WatchdogConfig& config, int fallback_policy);
+
+  // sysrq-style operator abort: trips the watchdog immediately with
+  // TripReason::kManual (requires EnableWatchdog).
+  void AbortModule(const std::string& reason);
+
+  bool quarantined() const { return quarantined_; }
+  bool fallback_done() const { return fallback_done_; }
+  const std::optional<CrashReport>& crash_report() const { return crash_report_; }
+  Watchdog* watchdog() const { return watchdog_.get(); }
+
   // ---- Record mode (section 3.4) ----
   void SetRecorder(Recorder* recorder) { recorder_ = recorder; }
   Recorder* recorder() const { return recorder_; }
@@ -88,6 +108,7 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   uint64_t pick_errors() const { return pick_errors_; }
   uint64_t balance_errors() const { return balance_errors_; }
   uint64_t upgrades() const { return upgrades_; }
+  uint64_t escaped_exceptions() const { return escaped_exceptions_; }
   size_t QueuedCount(int cpu) const { return queued_[cpu].size(); }
 
  private:
@@ -98,6 +119,24 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   void Charge(int cpu);
   void Record(RecordEntry entry);
   void DrainHints();
+
+  // Runs one module callback with the containment boundary around it:
+  // traps escaping exceptions (HandleEscape) and, on normal completion,
+  // accounts the call's latency against the watchdog budget (FinishCall).
+  // Returns false if the callback threw; the caller applies its per-site
+  // degraded behavior (e.g. treat a thrown pick as "idle").
+  template <typename Fn>
+  bool Guarded(const char* site, Fn&& fn);
+  // Must be called from a catch block: counts the escape and either
+  // rethrows (no watchdog) or reports it, possibly tripping.
+  void HandleEscape(const char* site, const char* what);
+  void FinishCall(const char* site);
+  // Quarantines the module, snapshots the CrashReport, and schedules the
+  // fallback sweep at the next clean event boundary. Idempotent.
+  void TripWatchdog(TripReason reason, std::string detail);
+  // Re-policies every task of this class onto fallback_policy_ with zero
+  // task loss, waiting out any in-flight context switch first.
+  void ExecuteFallback();
 
   std::unique_ptr<EnokiSched> module_;
   Recorder* recorder_ = nullptr;
@@ -114,6 +153,18 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   uint64_t pick_errors_ = 0;
   uint64_t balance_errors_ = 0;
   uint64_t upgrades_ = 0;
+
+  // Fault containment state. watchdog_ == nullptr means containment is off
+  // and module exceptions propagate (the pre-watchdog contract).
+  std::unique_ptr<Watchdog> watchdog_;
+  int fallback_policy_ = -1;
+  bool quarantined_ = false;
+  bool fallback_done_ = false;
+  std::optional<CrashReport> crash_report_;
+  // Simulated time the module declared via BusyWait during the current
+  // callback; folded into that call's watchdog-visible latency.
+  Duration callback_busy_ns_ = 0;
+  uint64_t escaped_exceptions_ = 0;
 };
 
 }  // namespace enoki

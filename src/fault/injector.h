@@ -1,0 +1,160 @@
+// Fault containment: deterministic fault injection for Enoki modules.
+//
+// FaultInjector is an EnokiSched decorator: it wraps any real scheduler
+// module and, driven by a seeded Rng, injects the misbehaviors the paper's
+// safety story (section 3.1) and our Watchdog exist to contain:
+//
+//  - stale / wrong-CPU / double-returned Schedulable tokens from
+//    pick_next_task (the runtime's validation must catch each one and route
+//    ownership back through pnt_err);
+//  - dropped enqueues (a wakeup or new-task event swallowed before the
+//    inner module sees it — the classic lost-task bug that starves a task);
+//  - exceptions escaping any of the main callbacks;
+//  - pathological per-callback latency, charged through the cost model via
+//    EnokiKernelEnv::BusyWait so the watchdog's budget can see it;
+//  - reverse-hint-queue flooding.
+//
+// Because every fault decision is drawn from the seeded Rng in callback
+// order and the simulator is deterministic, identical (seed, workload)
+// pairs inject the identical fault sequence — which is what makes the
+// 100-seed sweep in tests/fault_test.cc reproducible bit-for-bit.
+//
+// The injector is also honest about recovery: when a forged token bounces
+// back through pnt_err, it re-injects the real (still valid) token into the
+// inner module as a wakeup, so a single token fault is survivable and only
+// *repeated* faults cross the watchdog's pick-error threshold.
+
+#ifndef SRC_FAULT_INJECTOR_H_
+#define SRC_FAULT_INJECTOR_H_
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/enoki/api.h"
+
+namespace enoki {
+
+// The exception type thrown by injected-throw faults.
+struct InjectedFault : public std::runtime_error {
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault: " + site) {}
+};
+
+// Per-fault-kind injection rates (Bernoulli per opportunity). All zero by
+// default: a default FaultPlan is a transparent pass-through.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  double drop_enqueue_rate = 0.0;     // swallow task_new / task_wakeup
+  double stale_token_rate = 0.0;      // return a stale-generation token
+  double wrong_cpu_token_rate = 0.0;  // return a token minted for another CPU
+  double double_return_rate = 0.0;    // return the same proof twice
+  double throw_rate = 0.0;            // throw from a callback
+  double busy_spin_rate = 0.0;        // burn busy_spin_ns inside a callback
+  Duration busy_spin_ns = Milliseconds(20);
+  double hint_flood_rate = 0.0;       // burst-write the reverse hint queue
+  int hint_flood_burst = 128;
+
+  // The full fault menu at modest rates: every fault kind is exercised, no
+  // single kind dominates. Used by the seeded sweep test and the demo.
+  static FaultPlan FullMenu(uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_enqueue_rate = 0.02;
+    plan.stale_token_rate = 0.05;
+    plan.wrong_cpu_token_rate = 0.05;
+    plan.double_return_rate = 0.05;
+    plan.throw_rate = 0.02;
+    plan.busy_spin_rate = 0.01;
+    plan.hint_flood_rate = 0.05;
+    return plan;
+  }
+};
+
+class FaultInjector : public EnokiSched {
+ public:
+  struct Counts {
+    uint64_t dropped_enqueues = 0;
+    uint64_t stale_tokens = 0;
+    uint64_t wrong_cpu_tokens = 0;
+    uint64_t double_returns = 0;
+    uint64_t throws = 0;
+    uint64_t busy_spins = 0;
+    uint64_t hint_floods = 0;
+    uint64_t reinjected = 0;  // real tokens recovered via pnt_err
+
+    uint64_t total() const {
+      return dropped_enqueues + stale_tokens + wrong_cpu_tokens + double_returns + throws +
+             busy_spins + hint_floods;
+    }
+  };
+
+  FaultInjector(std::unique_ptr<EnokiSched> inner, FaultPlan plan);
+
+  EnokiSched* inner() const { return inner_.get(); }
+  const Counts& counts() const { return counts_; }
+
+  // ---- EnokiSched (decorated) ----
+  void Attach(EnokiKernelEnv* env) override;
+  int GetPolicy() const override;
+
+  int SelectTaskRq(const TaskMessage& msg) override;
+  std::optional<Schedulable> PickNextTask(int cpu, std::optional<Schedulable> curr) override;
+  void PntErr(int cpu, std::optional<Schedulable> sched) override;
+
+  void TaskDead(uint64_t pid) override;
+  void TaskBlocked(const TaskMessage& msg) override;
+  void TaskWakeup(const TaskMessage& msg, Schedulable sched) override;
+  void TaskNew(const TaskMessage& msg, Schedulable sched) override;
+  void TaskPreempt(const TaskMessage& msg, Schedulable sched) override;
+  void TaskYield(const TaskMessage& msg, Schedulable sched) override;
+  std::optional<Schedulable> TaskDeparted(const TaskMessage& msg) override;
+  void TaskAffinityChanged(uint64_t pid, const CpuMask& mask) override;
+  void TaskPrioChanged(uint64_t pid, int nice) override;
+  void TaskTick(int cpu, uint64_t pid, Duration runtime) override;
+  void TimerFired(int cpu) override;
+
+  int RegisterQueue(int queue_id) override;
+  int RegisterReverseQueue(int queue_id) override;
+  void EnterQueue(int queue_id) override;
+  void UnregisterQueue(int queue_id) override;
+  void UnregisterRevQueue(int queue_id) override;
+  void ParseHint(const HintBlob& hint) override;
+
+  std::optional<uint64_t> Balance(int cpu) override;
+  void BalanceErr(int cpu, uint64_t pid, std::optional<Schedulable> sched) override;
+  Schedulable MigrateTaskRq(const MigrateMessage& msg, Schedulable sched) override;
+
+  TransferState ReregisterPrepare() override;
+  void ReregisterInit(TransferState state) override;
+
+ private:
+  bool Chance(double rate) { return rate > 0.0 && rng_.NextBernoulli(rate); }
+  void MaybeThrow(const char* site);
+  void MaybeBusySpin(int cpu);
+  void MaybeHintFlood();
+  // A wakeup message reconstructed from a stashed token, used to hand the
+  // real proof back to the inner module after a forged one bounced.
+  void ReinjectStashed(uint64_t pid);
+
+  std::unique_ptr<EnokiSched> inner_;
+  const FaultPlan plan_;
+  Rng rng_;
+  Counts counts_;
+
+  // Real tokens held back while a forged twin is in flight, keyed by pid.
+  std::unordered_map<uint64_t, Schedulable> stashed_;
+  // Cloned proofs waiting to be returned a second time (double-return).
+  std::vector<std::pair<uint64_t, Schedulable>> replay_tokens_;
+  int rev_queue_ = -1;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_FAULT_INJECTOR_H_

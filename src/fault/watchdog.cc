@@ -1,0 +1,79 @@
+#include "src/fault/watchdog.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace enoki {
+
+const char* TripReasonName(TripReason reason) {
+  switch (reason) {
+    case TripReason::kNone:
+      return "none";
+    case TripReason::kEscapedException:
+      return "escaped-exception";
+    case TripReason::kCallbackBudget:
+      return "callback-budget";
+    case TripReason::kPickErrors:
+      return "pick-errors";
+    case TripReason::kBalanceErrors:
+      return "balance-errors";
+    case TripReason::kStarvation:
+      return "starvation";
+    case TripReason::kUpgradeFailure:
+      return "upgrade-failure";
+    case TripReason::kManual:
+      return "manual";
+  }
+  return "unknown";
+}
+
+CrashReport Watchdog::BuildReport(TripReason reason, std::string detail, Time now) const {
+  CrashReport report;
+  report.reason = reason;
+  report.detail = std::move(detail);
+  report.tripped_at = now;
+  report.escaped_exceptions = escaped_exceptions_;
+  report.pick_errors = pick_errors_;
+  report.balance_errors = balance_errors_;
+  report.starved_pid = reason == TripReason::kStarvation ? starved_pid_ : 0;
+  report.callback_stats = callback_stats_;
+  report.callback_p50_ns = callback_latency_.Percentile(50.0);
+  report.callback_p99_ns = callback_latency_.Percentile(99.0);
+  return report;
+}
+
+std::string CrashReport::ToString() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "CrashReport{reason=%s detail=\"%s\" tripped_at=%" PRIu64
+                "ns module_calls=%" PRIu64 " pick_errors=%" PRIu64 " balance_errors=%" PRIu64
+                " escaped_exceptions=%" PRIu64 " starved_pid=%" PRIu64 "\n",
+                TripReasonName(reason), detail.c_str(), static_cast<uint64_t>(tripped_at),
+                module_calls, pick_errors, balance_errors, escaped_exceptions, starved_pid);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  callbacks: n=%" PRIu64 " mean=%.1fns max=%.0fns p50=%" PRIu64 "ns p99=%" PRIu64
+                "ns\n",
+                callback_stats.count(), callback_stats.mean(), callback_stats.max(),
+                static_cast<uint64_t>(callback_p50_ns), static_cast<uint64_t>(callback_p99_ns));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  fallback: tasks_repolicied=%" PRIu64 " pause=%" PRIu64 "ns\n", tasks_repolicied,
+                static_cast<uint64_t>(fallback_pause_ns));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  last_calls (%zu):\n", last_calls.size());
+  out += buf;
+  for (const RecordEntry& e : last_calls) {
+    std::snprintf(buf, sizeof(buf),
+                  "    seq=%" PRIu64 " t=%" PRIu64 " type=%u pid=%" PRIu64
+                  " cpu=%d resp=%" PRIu64 "\n",
+                  e.seq, static_cast<uint64_t>(e.time), static_cast<unsigned>(e.type), e.pid,
+                  e.cpu, e.resp0);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace enoki

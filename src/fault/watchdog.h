@@ -1,0 +1,165 @@
+// Fault containment: watchdog policy and crash reporting.
+//
+// The paper's central robustness claim (sections 3.1-3.2) is that a buggy
+// scheduler module cannot take down the kernel: invalid Schedulable tokens
+// are caught at pick_next_task, and a broken policy can be swapped out live.
+// This subsystem closes the loop by *acting* on misbehavior. The Watchdog is
+// the decision policy: the runtime reports every suspicious observation
+// (escaped exception, over-budget callback, pick/balance validation failure,
+// starved task) and the Watchdog answers with the trip reason once a
+// configured threshold is crossed. On a trip the runtime quarantines the
+// module, re-policies its tasks onto the fallback class, and emits a
+// CrashReport — the same containment shape sched_ext gives a misbehaving BPF
+// scheduler (error out, fall back to CFS, leave a debug dump).
+//
+// Everything here is deterministic: thresholds are compared against
+// simulated quantities only, so identical seeds produce identical trips and
+// identical CrashReports.
+
+#ifndef SRC_FAULT_WATCHDOG_H_
+#define SRC_FAULT_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/time.h"
+#include "src/enoki/record.h"
+
+namespace enoki {
+
+enum class TripReason : uint8_t {
+  kNone = 0,
+  kEscapedException,  // a module callback threw past the API boundary
+  kCallbackBudget,    // a single callback exceeded its time budget
+  kPickErrors,        // repeated pick_next_task validation failures
+  kBalanceErrors,     // repeated balance validation failures
+  kStarvation,        // a runnable task went unpicked past the bound
+  kUpgradeFailure,    // live upgrade left the module in a broken state
+  kManual,            // operator-requested abort (sysrq-style)
+};
+
+const char* TripReasonName(TripReason reason);
+
+struct WatchdogConfig {
+  // Budget for the simulated time one module callback may consume (framework
+  // overhead plus any BusyWait the module performs). One violation trips.
+  Duration callback_budget_ns = Milliseconds(10);
+
+  // Trip on the Nth exception escaping a module callback. 1 = first throw.
+  uint64_t max_escaped_exceptions = 1;
+
+  // Trip when this many pick_next_task validation failures accumulate.
+  uint64_t max_pick_errors = 16;
+
+  // Trip when this many balance validation failures accumulate.
+  uint64_t max_balance_errors = 64;
+
+  // A runnable task not dispatched for longer than this trips the watchdog.
+  // Also installed as SchedCore's starvation-scan bound. 0 disables.
+  Duration starvation_bound_ns = Milliseconds(100);
+
+  // How many trailing record entries (the module's last calls) to capture
+  // into the CrashReport when a Recorder is attached.
+  size_t crash_ring_entries = 32;
+};
+
+// Everything known about a containment event: why the watchdog tripped, the
+// module's counters at that moment, callback-latency aggregates, the cost of
+// the fallback, and the last calls into the module (from the Recorder ring).
+struct CrashReport {
+  TripReason reason = TripReason::kNone;
+  std::string detail;
+  Time tripped_at = 0;
+
+  // Module counters at trip time.
+  uint64_t module_calls = 0;
+  uint64_t pick_errors = 0;
+  uint64_t balance_errors = 0;
+  uint64_t escaped_exceptions = 0;
+  uint64_t starved_pid = 0;  // 0 unless reason == kStarvation
+
+  // Per-callback simulated latency, aggregated across the module's life.
+  StatAccumulator callback_stats;
+  Duration callback_p50_ns = 0;
+  Duration callback_p99_ns = 0;
+
+  // Fallback outcome, filled in once the quarantined module's tasks have
+  // been re-policied onto the fallback class.
+  uint64_t tasks_repolicied = 0;
+  Duration fallback_pause_ns = 0;
+
+  // Tail of the record log: the last calls the module saw before the trip.
+  std::vector<RecordEntry> last_calls;
+
+  // Stable text rendering; used for logging and for determinism checks
+  // (identical seeds must yield identical strings).
+  std::string ToString() const;
+};
+
+// The detection policy. The runtime feeds it observations; each observer
+// returns TripReason::kNone or the reason to trip. The Watchdog itself is
+// stateless about the fallback — acting on a trip is the runtime's job.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config) : config_(config) {}
+
+  const WatchdogConfig& config() const { return config_; }
+
+  // An exception escaped a module callback.
+  TripReason OnEscapedException() {
+    ++escaped_exceptions_;
+    return escaped_exceptions_ >= config_.max_escaped_exceptions
+               ? TripReason::kEscapedException
+               : TripReason::kNone;
+  }
+
+  // A module callback completed, consuming `ns` of simulated time.
+  TripReason OnCallbackLatency(Duration ns) {
+    callback_stats_.Record(static_cast<double>(ns));
+    callback_latency_.Record(ns);
+    return ns > config_.callback_budget_ns ? TripReason::kCallbackBudget : TripReason::kNone;
+  }
+
+  // pick_next_task returned a token that failed validation.
+  TripReason OnPickError() {
+    ++pick_errors_;
+    return pick_errors_ >= config_.max_pick_errors ? TripReason::kPickErrors : TripReason::kNone;
+  }
+
+  // balance offered a task that could not be moved.
+  TripReason OnBalanceError() {
+    ++balance_errors_;
+    return balance_errors_ >= config_.max_balance_errors ? TripReason::kBalanceErrors
+                                                         : TripReason::kNone;
+  }
+
+  // A runnable task went `waited` without being dispatched.
+  TripReason OnStarvation(uint64_t pid, Duration waited) {
+    starved_pid_ = pid;
+    starved_for_ = waited;
+    return TripReason::kStarvation;
+  }
+
+  uint64_t escaped_exceptions() const { return escaped_exceptions_; }
+  uint64_t pick_errors() const { return pick_errors_; }
+  uint64_t balance_errors() const { return balance_errors_; }
+
+  // Snapshots the watchdog's aggregates into a report for the given trip.
+  CrashReport BuildReport(TripReason reason, std::string detail, Time now) const;
+
+ private:
+  const WatchdogConfig config_;
+  uint64_t escaped_exceptions_ = 0;
+  uint64_t pick_errors_ = 0;
+  uint64_t balance_errors_ = 0;
+  uint64_t starved_pid_ = 0;
+  Duration starved_for_ = 0;
+  StatAccumulator callback_stats_;
+  LatencyRecorder callback_latency_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_FAULT_WATCHDOG_H_

@@ -72,6 +72,10 @@ struct SimCosts {
   // Live upgrade: fixed cost of the module pointer swap plus lock handoff.
   Duration upgrade_swap_ns = 300;
 
+  // Watchdog fallback: per-task cost of re-policying a quarantined module's
+  // task onto the fallback class (setscheduler path minus syscall entry).
+  Duration fallback_pertask_ns = 150;
+
   // Arming a per-CPU hrtimer from an Enoki scheduler.
   Duration timer_arm_ns = 350;
 

@@ -72,6 +72,12 @@ class SchedClass {
   // A policy timer armed via SchedCore::ArmClassTimer fired on `cpu`.
   virtual void TimerFired(int cpu) {}
 
+  // The core's starvation detector found `t` runnable-but-not-run for
+  // `runnable_ns`, exceeding the configured bound. Called at most once per
+  // runnable episode of the task. Default: ignore (native schedulers are
+  // trusted); the Enoki runtime uses this to trip its watchdog.
+  virtual void OnTaskStarved(Task* t, Duration runnable_ns) {}
+
   virtual void AffinityChanged(Task* t) {}
   virtual void PrioChanged(Task* t) {}
 

@@ -278,6 +278,7 @@ void SchedCore::FinishSwitch(int cpu, Task* next) {
   next->state_ = TaskState::kRunning;
   next->cpu_ = cpu;
   next->run_segment_start_ = loop_.now();
+  next->starvation_flagged_ = false;  // got the CPU: new runnable episode
   ++next->switch_in_count_;
   if (next->wake_latency_pending_) {
     next->wake_latency_pending_ = false;
@@ -440,8 +441,30 @@ void SchedCore::DoWake(WaitQueue* wq, bool sync, int from_cpu) {
   WakeTaskInternal(w, sync, from_cpu, /*is_new=*/false);
 }
 
+void SchedCore::CheckStarvation() {
+  const Time now = loop_.now();
+  for (const auto& tp : tasks_) {
+    Task* t = tp.get();
+    if (t->state_ != TaskState::kRunnable || t->starvation_flagged_) {
+      continue;
+    }
+    // A runnable task's wait started either when it was last made runnable
+    // or when its current on-queue stint began (after a preempt/yield the
+    // run_segment_start_ of the previous segment is the later stamp).
+    const Time since = std::max(t->last_runnable_at_, t->run_segment_start_);
+    const Duration waited = now - since;
+    if (waited > starvation_bound_) {
+      t->starvation_flagged_ = true;
+      t->sched_class_->OnTaskStarved(t, waited);
+    }
+  }
+}
+
 void SchedCore::TickFired(int cpu) {
   CpuState& c = cpus_[cpu];
+  if (cpu == 0 && starvation_bound_ > 0) {
+    CheckStarvation();
+  }
   Task* t = c.current;
   if (t != nullptr) {
     t->sched_class_->TaskTick(cpu, t);

@@ -147,6 +147,13 @@ class SchedCore {
   // the core validates the move and updates the task's CPU.
   void MoveQueuedTask(Task* t, int to_cpu);
 
+  // Starvation detector (soft-lockup / hung-task analog). When the bound is
+  // non-zero, each cpu-0 tick scans for tasks that have been runnable but
+  // off-CPU for longer than the bound and reports each such task once per
+  // runnable episode to its class's OnTaskStarved. Zero disables the scan.
+  void set_starvation_bound(Duration bound) { starvation_bound_ = bound; }
+  Duration starvation_bound() const { return starvation_bound_; }
+
   // ---- Introspection ----
 
   EventLoop& loop() { return loop_; }
@@ -162,6 +169,12 @@ class SchedCore {
   bool CpuIdle(int cpu) const {
     return cpus_[cpu].current == nullptr && !cpus_[cpu].in_switch;
   }
+
+  // True while `cpu` is inside the context-switch window: a task has been
+  // picked (and left its class's queue) but FinishSwitch has not yet run.
+  // Re-policying such a task would double-attach it; callers that sweep
+  // tasks across classes (watchdog fallback) must wait the window out.
+  bool CpuInSwitch(int cpu) const { return cpus_[cpu].in_switch; }
 
   // True while an idle-exit kick (wakeup dispatch) is in flight for `cpu`:
   // the CPU has been sent its resched IPI and will pick shortly. Balancers
@@ -217,6 +230,7 @@ class SchedCore {
   void AccrueRuntime(Task* t);
   Duration IdleExitCost(int cpu) const;
   void TickFired(int cpu);
+  void CheckStarvation();
   Duration TakeCharge(int cpu) {
     const Duration d = cpus_[cpu].pending_charge;
     cpus_[cpu].pending_charge = 0;
@@ -236,6 +250,7 @@ class SchedCore {
   uint64_t pick_errors_ = 0;
   bool ticks_enabled_ = true;
   bool started_ = false;
+  Duration starvation_bound_ = 0;  // 0 = detector off
   LatencyRecorder wake_latency_;
   std::function<void(Task*, Duration)> wake_latency_hook_;
 };

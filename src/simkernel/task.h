@@ -184,6 +184,7 @@ class Task {
   Time run_segment_start_ = 0;
   Time last_runnable_at_ = 0;
   bool wake_latency_pending_ = false;
+  bool starvation_flagged_ = false;  // reported once per runnable episode
   uint64_t wake_count_ = 0;
   uint64_t switch_in_count_ = 0;
   bool started_ = false;

@@ -107,28 +107,37 @@ inline DispersiveResult RunDispersive(SchedCore& core, const DispersiveConfig& c
 
   // Load generator: open-loop Poisson arrivals. The clients are external
   // machines in the paper's setup, so arrivals are generated from event
-  // context (network receive) rather than by a simulated task.
-  {
-    auto rng = std::make_shared<Rng>(config.seed);
-    const double mean_gap_ns = 1e9 / config.rate_per_sec;
-    const DispersiveConfig cfg = config;
-    const Time end = core.now() + config.warmup + config.runtime;
-    auto gen = std::make_shared<std::function<void()>>();
-    *gen = [sh, rng, mean_gap_ns, cfg, end, gen, &core] {
+  // context (network receive) rather than by a simulated task. The generator
+  // reschedules a copy of itself, so the pending event owns the state — no
+  // self-referential closure, nothing outlives the event loop.
+  struct LoadGen {
+    std::shared_ptr<Shared> sh;
+    std::shared_ptr<Rng> rng;
+    double mean_gap_ns;
+    DispersiveConfig cfg;
+    Time end;
+    SchedCore* core;
+    void operator()() const {
       Request r;
-      r.arrival = core.now();
+      r.arrival = core->now();
       r.service =
           rng->NextBernoulli(cfg.scan_fraction) ? cfg.scan_service : cfg.get_service;
       sh->queue.push_back(r);
-      core.Signal(&sh->wq, /*sync=*/false, /*from_cpu=*/cfg.loadgen_cpu);
-      if (core.now() < end) {
+      core->Signal(&sh->wq, /*sync=*/false, /*from_cpu=*/cfg.loadgen_cpu);
+      if (core->now() < end) {
         const Duration gap =
             static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns)));
-        core.loop().ScheduleAfter(gap, *gen);
+        core->loop().ScheduleAfter(gap, *this);
       }
-    };
+    }
+  };
+  {
+    auto rng = std::make_shared<Rng>(config.seed);
+    const double mean_gap_ns = 1e9 / config.rate_per_sec;
+    LoadGen gen{sh, rng, mean_gap_ns, config,
+                core.now() + config.warmup + config.runtime, &core};
     core.loop().ScheduleAfter(
-        static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns))), *gen);
+        static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns))), gen);
   }
 
   // Batch application (optional).

@@ -103,29 +103,39 @@ inline McResult RunMemcached(SchedCore& core, const McConfig& config) {
 
   // ---- Load generator (clients) ----
   // Mutilate clients are separate machines; arrivals come from event
-  // context (network receive), not from a simulated task.
-  {
-    auto rng = std::make_shared<Rng>(config.seed);
-    const double mean_gap_ns = 1e9 / config.rate_per_sec;
-    const McConfig cfg = config;
-    const Time end = core.now() + config.warmup + config.runtime;
-    auto gen = std::make_shared<std::function<void()>>();
-    *gen = [sh, rng, mean_gap_ns, cfg, arachne, end, gen, &core] {
-      sh->queue.emplace_back(core.now(), mc_internal::SampleService(*rng, cfg));
+  // context (network receive), not from a simulated task. The generator
+  // reschedules a copy of itself, so the pending event owns the state — no
+  // self-referential closure, nothing outlives the event loop.
+  struct LoadGen {
+    std::shared_ptr<Shared> sh;
+    std::shared_ptr<Rng> rng;
+    double mean_gap_ns;
+    McConfig cfg;
+    bool arachne;
+    Time end;
+    SchedCore* core;
+    void operator()() const {
+      sh->queue.emplace_back(core->now(), mc_internal::SampleService(*rng, cfg));
       ++sh->arrivals_window;
       if (!arachne) {
         // Baseline memcached: the receive path wakes a worker thread.
-        core.Signal(&sh->wq);
+        core->Signal(&sh->wq);
       }
       // Arachne activations poll their run queues; no kernel wakeup needed.
-      if (core.now() < end) {
+      if (core->now() < end) {
         const Duration gap =
             static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns)));
-        core.loop().ScheduleAfter(gap, *gen);
+        core->loop().ScheduleAfter(gap, *this);
       }
-    };
+    }
+  };
+  {
+    auto rng = std::make_shared<Rng>(config.seed);
+    const double mean_gap_ns = 1e9 / config.rate_per_sec;
+    LoadGen gen{sh, rng, mean_gap_ns, config, arachne,
+                core.now() + config.warmup + config.runtime, &core};
     core.loop().ScheduleAfter(
-        static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns))), *gen);
+        static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns))), gen);
   }
 
   if (!arachne) {

@@ -113,6 +113,44 @@ TEST(StatAccumulator, EmptyIsZero) {
   EXPECT_EQ(acc.variance(), 0.0);
 }
 
+TEST(StatAccumulator, EmptyMinMaxAreZero) {
+  // min()/max() must not leak the +/-inf sentinels on an empty accumulator.
+  StatAccumulator acc;
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.sum(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulator, SingleSampleHasZeroVariance) {
+  StatAccumulator acc;
+  acc.Record(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+  // Sample variance is undefined at n=1; the accumulator reports 0, not NaN.
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulator, ResetRestoresEmptyState) {
+  StatAccumulator acc;
+  acc.Record(-7.0);
+  acc.Record(9.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  // A reset accumulator must accept new samples as if freshly constructed
+  // (in particular the min/max sentinels must be re-armed).
+  acc.Record(5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+}
+
 // ---- LatencyRecorder ----
 
 TEST(LatencyRecorder, ExactSmallValues) {
@@ -168,6 +206,45 @@ TEST(LatencyRecorder, MonotonePercentiles) {
     EXPECT_GE(v, prev) << "p" << p;
     prev = v;
   }
+}
+
+TEST(LatencyRecorder, EmptyPercentileIsZero) {
+  // Percentile on an empty recorder must not divide by zero or walk off the
+  // bucket array; every query answers 0.
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Percentile(0.0), 0);
+  EXPECT_EQ(rec.Percentile(50.0), 0);
+  EXPECT_EQ(rec.Percentile(100.0), 0);
+  EXPECT_EQ(rec.min(), 0);
+  EXPECT_EQ(rec.max(), 0);
+  EXPECT_EQ(rec.mean_ns(), 0.0);
+}
+
+TEST(LatencyRecorder, SingleSamplePercentiles) {
+  LatencyRecorder rec;
+  rec.Record(777);
+  // Every percentile of a single sample is that sample (to bucket
+  // resolution: the upper edge of its containing bucket).
+  const Duration p0 = rec.Percentile(0.0);
+  const Duration p100 = rec.Percentile(100.0);
+  EXPECT_EQ(p0, p100);
+  EXPECT_GE(p100, 777);
+  EXPECT_LE(static_cast<double>(p100), 777.0 * 1.05);
+}
+
+TEST(LatencyRecorder, ResetRestoresEmptyState) {
+  LatencyRecorder rec;
+  rec.Record(1000);
+  rec.Record(2000);
+  rec.Reset();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Percentile(99.0), 0);
+  EXPECT_EQ(rec.max(), 0);
+  rec.Record(30);
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_EQ(rec.min(), 30);
+  EXPECT_EQ(rec.max(), 30);
 }
 
 TEST(GeometricMeanTest, KnownValue) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
@@ -350,6 +351,71 @@ TEST(Upgrade, ChainedUpgrades) {
   ASSERT_TRUE(core.RunUntilAllExit(Seconds(10)));
   EXPECT_EQ(runtime.upgrades(), 3u);
   EXPECT_EQ(core.pick_errors(), 0u);
+}
+
+// ---- Live upgrade failure paths ----
+
+// An old module that will not quiesce: prepare throws.
+class RefusesQuiesceSched : public WfqSched {
+ public:
+  using WfqSched::WfqSched;
+  TransferState ReregisterPrepare() override { throw std::runtime_error("still busy"); }
+};
+
+// A new module that rejects whatever state it is handed: init throws.
+class RejectsStateSched : public WfqSched {
+ public:
+  using WfqSched::WfqSched;
+  void ReregisterInit(TransferState state) override { throw std::runtime_error("bad state"); }
+};
+
+TEST(Upgrade, NullModuleReportsError) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  EnokiRuntime runtime(std::make_unique<WfqSched>(0));
+  CfsClass cfs;
+  core.RegisterClass(&runtime);
+  core.RegisterClass(&cfs);
+  auto report = runtime.Upgrade(nullptr);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.error, "null module");
+  EXPECT_EQ(report.pause_ns, 0);
+  EXPECT_EQ(runtime.upgrades(), 0u);
+}
+
+TEST(Upgrade, PrepareFailureAbortsBeforeSwap) {
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  EnokiRuntime runtime(std::make_unique<RefusesQuiesceSched>(0));
+  CfsClass cfs;
+  const int policy = core.RegisterClass(&runtime);
+  core.RegisterClass(&cfs);
+  EnokiSched* old_module = runtime.module();
+  auto report = runtime.Upgrade(std::make_unique<WfqSched>(0));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("refused to quiesce"), std::string::npos);
+  // The old module stays installed and keeps scheduling.
+  EXPECT_EQ(runtime.module(), old_module);
+  EXPECT_EQ(runtime.upgrades(), 0u);
+  core.CreateTask("t", std::make_unique<CpuBoundBody>(Milliseconds(2), Milliseconds(1)), policy);
+  core.Start();
+  EXPECT_TRUE(core.RunUntilAllExit(Seconds(5)));
+}
+
+TEST(Upgrade, InitFailureAfterSwapReportsError) {
+  // Without a watchdog the runtime can only report: the swap already
+  // happened, the old state is gone, and the broken new module is installed.
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  EnokiRuntime runtime(std::make_unique<WfqSched>(0));
+  CfsClass cfs;
+  core.RegisterClass(&runtime);
+  core.RegisterClass(&cfs);
+  auto next = std::make_unique<RejectsStateSched>(0);
+  EnokiSched* incoming = next.get();
+  auto report = runtime.Upgrade(std::move(next));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("rejected transferred state"), std::string::npos);
+  EXPECT_GT(report.pause_ns, 0);
+  EXPECT_EQ(runtime.module(), incoming);
+  EXPECT_EQ(runtime.upgrades(), 1u);
 }
 
 // ---- Record & replay ----

@@ -1,0 +1,337 @@
+// Tests for the fault-containment subsystem (src/fault): the FaultInjector
+// decorator, the Watchdog trip policy, and the runtime's quarantine +
+// graceful-fallback path. The capstone is a 100-seed sweep throwing the full
+// fault menu at WfqSched under the pipe workload: zero crashes, zero task
+// loss, and bit-identical CrashReports for identical seeds.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/enoki/runtime.h"
+#include "src/fault/injector.h"
+#include "src/fault/watchdog.h"
+#include "src/sched/cfs.h"
+#include "src/sched/wfq.h"
+#include "src/simkernel/bodies.h"
+#include "src/workloads/pipe.h"
+
+namespace enoki {
+namespace {
+
+// Enoki module above CFS, the fallback target.
+struct FaultStack {
+  std::unique_ptr<SchedCore> core;
+  std::unique_ptr<EnokiRuntime> runtime;
+  std::unique_ptr<CfsClass> cfs;
+  int enoki_policy = 0;
+  int cfs_policy = 1;
+};
+
+FaultStack MakeFaultStack(std::unique_ptr<EnokiSched> module,
+                          MachineSpec spec = MachineSpec::OneSocket8()) {
+  FaultStack s;
+  s.core = std::make_unique<SchedCore>(spec, SimCosts{});
+  s.runtime = std::make_unique<EnokiRuntime>(std::move(module));
+  s.cfs = std::make_unique<CfsClass>();
+  s.enoki_policy = s.core->RegisterClass(s.runtime.get());
+  s.cfs_policy = s.core->RegisterClass(s.cfs.get());
+  return s;
+}
+
+std::unique_ptr<FaultInjector> MakeInjectedWfq(FaultPlan plan,
+                                               FaultInjector** out = nullptr) {
+  auto inj = std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0), plan);
+  if (out != nullptr) {
+    *out = inj.get();
+  }
+  return inj;
+}
+
+// ---- FaultInjector ----
+
+TEST(FaultInjector, TransparentAtZeroRates) {
+  // A default FaultPlan injects nothing: the wrapped run must be identical
+  // to the bare run, event for event.
+  PipeBenchConfig cfg;
+  cfg.messages = 200;
+
+  FaultStack bare = MakeFaultStack(std::make_unique<WfqSched>(0));
+  auto bare_result = RunPipeBench(*bare.core, bare.enoki_policy, cfg);
+  ASSERT_TRUE(bare_result.completed);
+
+  FaultInjector* inj = nullptr;
+  FaultStack wrapped = MakeFaultStack(MakeInjectedWfq(FaultPlan{}, &inj));
+  auto wrapped_result = RunPipeBench(*wrapped.core, wrapped.enoki_policy, cfg);
+  ASSERT_TRUE(wrapped_result.completed);
+
+  EXPECT_EQ(inj->counts().total(), 0u);
+  EXPECT_EQ(bare_result.elapsed_ns, wrapped_result.elapsed_ns);
+  EXPECT_EQ(bare.core->context_switches(), wrapped.core->context_switches());
+}
+
+TEST(FaultInjector, WithoutWatchdogInjectedThrowPropagates) {
+  // Containment off: the pre-watchdog contract is that module exceptions
+  // propagate out of the simulation.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.throw_rate = 1.0;
+  FaultStack s = MakeFaultStack(MakeInjectedWfq(plan));
+  PipeBenchConfig cfg;
+  cfg.messages = 10;
+  EXPECT_THROW(RunPipeBench(*s.core, s.enoki_policy, cfg), InjectedFault);
+}
+
+// ---- Watchdog trips, one per fault kind ----
+
+struct TripOutcome {
+  bool completed = false;
+  bool tripped = false;
+  CrashReport report;
+};
+
+TripOutcome RunWithPlan(FaultPlan plan, WatchdogConfig cfg, uint64_t messages = 200) {
+  FaultStack s = MakeFaultStack(MakeInjectedWfq(plan));
+  s.runtime->EnableWatchdog(cfg, s.cfs_policy);
+  PipeBenchConfig pcfg;
+  pcfg.messages = messages;
+  auto r = RunPipeBench(*s.core, s.enoki_policy, pcfg);
+  TripOutcome out;
+  out.completed = r.completed;
+  out.tripped = s.runtime->quarantined();
+  if (s.runtime->crash_report().has_value()) {
+    out.report = *s.runtime->crash_report();
+  }
+  return out;
+}
+
+TEST(Watchdog, TripsOnEscapedException) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.throw_rate = 1.0;
+  WatchdogConfig cfg;
+  cfg.max_escaped_exceptions = 1;
+  TripOutcome out = RunWithPlan(plan, cfg);
+  EXPECT_TRUE(out.tripped);
+  EXPECT_EQ(out.report.reason, TripReason::kEscapedException);
+  EXPECT_GE(out.report.escaped_exceptions, 1u);
+  // Zero task loss: both pipe tasks finish under the CFS fallback.
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.report.tasks_repolicied, 2u);
+  EXPECT_GT(out.report.fallback_pause_ns, 0);
+}
+
+TEST(Watchdog, TripsOnCallbackBudget) {
+  FaultPlan plan;
+  plan.seed = 12;
+  plan.busy_spin_rate = 1.0;
+  plan.busy_spin_ns = Milliseconds(20);
+  WatchdogConfig cfg;
+  cfg.callback_budget_ns = Milliseconds(10);
+  TripOutcome out = RunWithPlan(plan, cfg);
+  EXPECT_TRUE(out.tripped);
+  EXPECT_EQ(out.report.reason, TripReason::kCallbackBudget);
+  EXPECT_TRUE(out.completed);
+  // The over-budget call is visible in the latency aggregates.
+  EXPECT_GE(out.report.callback_stats.max(), static_cast<double>(Milliseconds(20)));
+}
+
+TEST(Watchdog, TripsOnRepeatedPickErrors) {
+  // Every pick returns a stale-generation forgery; the injector's pnt_err
+  // recovery keeps the task alive, so the error count is what trips.
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.stale_token_rate = 1.0;
+  WatchdogConfig cfg;
+  cfg.max_pick_errors = 4;
+  cfg.starvation_bound_ns = Milliseconds(500);  // let pick errors trip first
+  TripOutcome out = RunWithPlan(plan, cfg);
+  EXPECT_TRUE(out.tripped);
+  EXPECT_EQ(out.report.reason, TripReason::kPickErrors);
+  EXPECT_GE(out.report.pick_errors, 4u);
+  EXPECT_TRUE(out.completed);
+}
+
+TEST(Watchdog, TripsOnStarvationFromDroppedEnqueues) {
+  // Every wakeup is swallowed before the module sees it: the classic
+  // lost-task bug. Only the core's starvation scan can notice.
+  FaultPlan plan;
+  plan.seed = 14;
+  plan.drop_enqueue_rate = 1.0;
+  WatchdogConfig cfg;
+  cfg.starvation_bound_ns = Milliseconds(20);
+  TripOutcome out = RunWithPlan(plan, cfg);
+  EXPECT_TRUE(out.tripped);
+  EXPECT_EQ(out.report.reason, TripReason::kStarvation);
+  EXPECT_NE(out.report.starved_pid, 0u);
+  EXPECT_TRUE(out.completed);
+}
+
+// ---- Manual abort, fallback mechanics ----
+
+TEST(Fallback, ManualAbortRepoliciesAllTasksAndRefusesUpgrade) {
+  FaultStack s = MakeFaultStack(std::make_unique<WfqSched>(0));
+  s.runtime->EnableWatchdog(WatchdogConfig{}, s.cfs_policy);
+  EnokiRuntime* rt = s.runtime.get();
+  // Trip mid-workload, from event context (sysrq-style).
+  s.core->loop().ScheduleAfter(Milliseconds(1), [rt] { rt->AbortModule("operator abort"); });
+  PipeBenchConfig cfg;
+  cfg.messages = 2000;
+  auto r = RunPipeBench(*s.core, s.enoki_policy, cfg);
+  EXPECT_TRUE(r.completed);
+  ASSERT_TRUE(rt->quarantined());
+  ASSERT_TRUE(rt->crash_report().has_value());
+  EXPECT_EQ(rt->crash_report()->reason, TripReason::kManual);
+  EXPECT_EQ(rt->crash_report()->detail, "operator abort");
+  EXPECT_EQ(rt->crash_report()->tasks_repolicied, 2u);
+  // Every former module task now runs CFS.
+  for (const auto& t : s.core->tasks()) {
+    EXPECT_EQ(t->sched_class(), s.cfs.get()) << t->name();
+  }
+  // A quarantined runtime refuses live upgrades.
+  auto report = rt->Upgrade(std::make_unique<WfqSched>(0));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("quarantined"), std::string::npos);
+}
+
+TEST(Fallback, TaskCreatedAfterFallbackIsHandedToFallbackClass) {
+  FaultStack s = MakeFaultStack(std::make_unique<WfqSched>(0));
+  s.runtime->EnableWatchdog(WatchdogConfig{}, s.cfs_policy);
+  s.core->Start();
+  s.core->RunFor(Milliseconds(1));
+  s.runtime->AbortModule("abort before late task");
+  s.core->RunFor(Milliseconds(1));
+  ASSERT_TRUE(s.runtime->fallback_done());
+  // A task created with the quarantined policy must still run to completion.
+  Task* late = s.core->CreateTask(
+      "late",
+      MakeFnBody([](SimContext&) -> Action {
+        static int step = 0;
+        return step++ == 0 ? Action::Compute(Microseconds(10)) : Action::Exit();
+      }),
+      s.enoki_policy);
+  EXPECT_TRUE(s.core->RunUntilTasksDead({late}, s.core->now() + Seconds(1)));
+  EXPECT_EQ(late->sched_class(), s.cfs.get());
+}
+
+TEST(Fallback, CrashReportCapturesRecorderTail) {
+  // Trip via accumulated pick errors so a history of successful calls
+  // precedes the trip and lands in the report's tail.
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.stale_token_rate = 1.0;
+  FaultStack s = MakeFaultStack(MakeInjectedWfq(plan));
+  Recorder recorder(1024);
+  s.runtime->SetRecorder(&recorder);
+  WatchdogConfig cfg;
+  cfg.max_pick_errors = 3;
+  cfg.starvation_bound_ns = Milliseconds(500);
+  cfg.crash_ring_entries = 8;
+  s.runtime->EnableWatchdog(cfg, s.cfs_policy);
+  PipeBenchConfig pcfg;
+  pcfg.messages = 50;
+  auto r = RunPipeBench(*s.core, s.enoki_policy, pcfg);
+  EXPECT_TRUE(r.completed);
+  ASSERT_TRUE(s.runtime->crash_report().has_value());
+  const CrashReport& report = *s.runtime->crash_report();
+  EXPECT_FALSE(report.last_calls.empty());
+  EXPECT_LE(report.last_calls.size(), 8u);
+  // The rendering is the determinism fingerprint; it must be non-trivial.
+  EXPECT_NE(report.ToString().find("pick-errors"), std::string::npos);
+}
+
+TEST(Fallback, FailedUpgradeTripsWatchdogAndRescuesTasks) {
+  // The swap succeeds but the incoming module rejects the transferred state:
+  // with a watchdog armed this is a containment event, not a report-only
+  // failure — the broken module is quarantined and its tasks survive.
+  class RejectsStateSched : public WfqSched {
+   public:
+    using WfqSched::WfqSched;
+    void ReregisterInit(TransferState state) override {
+      throw std::runtime_error("bad state");
+    }
+  };
+  FaultStack s = MakeFaultStack(std::make_unique<WfqSched>(0));
+  s.runtime->EnableWatchdog(WatchdogConfig{}, s.cfs_policy);
+  EnokiRuntime* rt = s.runtime.get();
+  s.core->loop().ScheduleAfter(Milliseconds(1), [rt] {
+    auto report = rt->Upgrade(std::make_unique<RejectsStateSched>(0));
+    EXPECT_FALSE(report.ok);
+  });
+  PipeBenchConfig cfg;
+  cfg.messages = 2000;
+  auto r = RunPipeBench(*s.core, s.enoki_policy, cfg);
+  EXPECT_TRUE(r.completed);
+  ASSERT_TRUE(rt->quarantined());
+  ASSERT_TRUE(rt->crash_report().has_value());
+  EXPECT_EQ(rt->crash_report()->reason, TripReason::kUpgradeFailure);
+  EXPECT_EQ(rt->crash_report()->tasks_repolicied, 2u);
+}
+
+// ---- The seeded fault sweep (acceptance criterion) ----
+
+struct SweepOutcome {
+  bool completed = false;
+  bool tripped = false;
+  std::string report;  // empty when the watchdog never tripped
+  uint64_t faults = 0;
+  uint64_t reinjected = 0;
+  Time end_time = 0;
+};
+
+SweepOutcome RunSweep(uint64_t seed) {
+  FaultInjector* inj = nullptr;
+  FaultStack s = MakeFaultStack(MakeInjectedWfq(FaultPlan::FullMenu(seed), &inj));
+  Recorder recorder(1024);
+  s.runtime->SetRecorder(&recorder);
+  s.runtime->CreateRevQueue(64);  // give hint floods somewhere to land
+  WatchdogConfig cfg;
+  cfg.callback_budget_ns = Milliseconds(5);
+  cfg.max_escaped_exceptions = 3;
+  cfg.max_pick_errors = 8;
+  cfg.starvation_bound_ns = Milliseconds(20);
+  s.runtime->EnableWatchdog(cfg, s.cfs_policy);
+  PipeBenchConfig pcfg;
+  pcfg.messages = 300;
+  auto r = RunPipeBench(*s.core, s.enoki_policy, pcfg);
+  SweepOutcome out;
+  out.completed = r.completed;
+  out.tripped = s.runtime->quarantined();
+  if (s.runtime->crash_report().has_value()) {
+    out.report = s.runtime->crash_report()->ToString();
+  }
+  out.faults = inj->counts().total();
+  out.reinjected = inj->counts().reinjected;
+  out.end_time = s.core->now();
+  return out;
+}
+
+TEST(FaultSweep, HundredSeedsFullMenuZeroTaskLoss) {
+  int tripped_seeds = 0;
+  uint64_t total_faults = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    SweepOutcome a = RunSweep(seed);
+    // Zero task loss: every pipe task completes, tripped or not.
+    EXPECT_TRUE(a.completed) << "seed " << seed << " lost tasks";
+    // Determinism: the identical seed yields the identical run, down to the
+    // CrashReport rendering and the final simulated clock.
+    SweepOutcome b = RunSweep(seed);
+    EXPECT_EQ(a.completed, b.completed) << "seed " << seed;
+    EXPECT_EQ(a.tripped, b.tripped) << "seed " << seed;
+    EXPECT_EQ(a.report, b.report) << "seed " << seed;
+    EXPECT_EQ(a.faults, b.faults) << "seed " << seed;
+    EXPECT_EQ(a.reinjected, b.reinjected) << "seed " << seed;
+    EXPECT_EQ(a.end_time, b.end_time) << "seed " << seed;
+    tripped_seeds += a.tripped ? 1 : 0;
+    total_faults += a.faults;
+  }
+  // The menu must actually bite: faults were injected and some seeds tripped.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(tripped_seeds, 0);
+}
+
+}  // namespace
+}  // namespace enoki
