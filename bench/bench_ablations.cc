@@ -9,8 +9,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/sweep_runner.h"
 #include "src/sched/fifo.h"
 #include "src/sched/nest.h"
 #include "src/sched/shinjuku.h"
@@ -25,15 +28,23 @@ namespace {
 void AblateAgentCost() {
   std::printf("A1: pipe latency vs ghOSt agent op cost (async upcall penalty)\n");
   std::printf("%14s %18s\n", "agent op (us)", "pipe us/wakeup");
-  for (Duration op : {400, 800, 1'700, 3'400, 6'800}) {
-    SimCosts costs;
-    costs.ghost_agent_op_ns = op;
-    Stack s = MakeGhostStack(GhostClass::Mode::kSol, CpuMask::All(7), 7,
-                             MachineSpec::OneSocket8(), costs);
-    PipeBenchConfig cfg;
-    cfg.messages = 20'000;
-    const auto r = RunPipeBench(*s.core, s.policy, cfg);
-    std::printf("%14.1f %18.2f\n", static_cast<double>(op) / 1e3, r.usec_per_wakeup);
+  const std::vector<Duration> ops = {400, 800, 1'700, 3'400, 6'800};
+  std::vector<double> usec(ops.size());
+  SweepRunner sweep;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    sweep.Add([&, i] {
+      SimCosts costs;
+      costs.ghost_agent_op_ns = ops[i];
+      Stack s = MakeGhostStack(GhostClass::Mode::kSol, CpuMask::All(7), 7,
+                               MachineSpec::OneSocket8(), costs);
+      PipeBenchConfig cfg;
+      cfg.messages = 20'000;
+      usec[i] = RunPipeBench(*s.core, s.policy, cfg).usec_per_wakeup;
+    });
+  }
+  sweep.Run();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::printf("%14.1f %18.2f\n", static_cast<double>(ops[i]) / 1e3, usec[i]);
   }
   std::printf("  -> the Enoki equivalent is a ~0.125 us synchronous call: the agent\n"
               "     path costs scale directly into scheduling latency.\n\n");
@@ -42,16 +53,25 @@ void AblateAgentCost() {
 void AblateIdleExit() {
   std::printf("A2: schbench wakeup p50 vs deep C-state exit latency\n");
   std::printf("%16s %14s %14s\n", "deep exit (us)", "CFS p50 (us)", "CFS p99 (us)");
-  for (Duration exit : {0, 5'000, 15'000, 30'000, 60'000}) {
-    SimCosts costs;
-    costs.deep_idle_exit_ns = exit;
-    Stack s = MakeCfsStack(MachineSpec::OneSocket8(), costs);
-    SchbenchConfig cfg;
-    cfg.warmup = Milliseconds(200);
-    cfg.runtime = Seconds(2);
-    const auto r = RunSchbench(*s.core, s.policy, cfg);
-    std::printf("%16.1f %14.0f %14.0f\n", static_cast<double>(exit) / 1e3,
-                ToMicroseconds(r.p50), ToMicroseconds(r.p99));
+  const std::vector<Duration> exits = {0, 5'000, 15'000, 30'000, 60'000};
+  std::vector<std::pair<Duration, Duration>> pcts(exits.size());
+  SweepRunner sweep;
+  for (size_t i = 0; i < exits.size(); ++i) {
+    sweep.Add([&, i] {
+      SimCosts costs;
+      costs.deep_idle_exit_ns = exits[i];
+      Stack s = MakeCfsStack(MachineSpec::OneSocket8(), costs);
+      SchbenchConfig cfg;
+      cfg.warmup = Milliseconds(200);
+      cfg.runtime = Seconds(2);
+      const auto r = RunSchbench(*s.core, s.policy, cfg);
+      pcts[i] = {r.p50, r.p99};
+    });
+  }
+  sweep.Run();
+  for (size_t i = 0; i < exits.size(); ++i) {
+    std::printf("%16.1f %14.0f %14.0f\n", static_cast<double>(exits[i]) / 1e3,
+                ToMicroseconds(pcts[i].first), ToMicroseconds(pcts[i].second));
   }
   std::printf("  -> Table 6's locality-hint win is exactly this cost avoided.\n\n");
 }
@@ -78,8 +98,12 @@ void AblateStealing() {
     s.core->RunUntilAllExit(Seconds(30));
     return ToSeconds(s.core->now());
   };
-  const double with_steal = run(true);
-  const double without = run(false);
+  double with_steal = 0.0;
+  double without = 0.0;
+  SweepRunner sweep;
+  sweep.Add([&] { with_steal = run(true); });
+  sweep.Add([&] { without = run(false); });
+  sweep.Run();
   std::printf("  makespan with stealing:    %.3f s\n", with_steal);
   std::printf("  makespan without stealing: %.3f s (%.1f%% worse)\n", without,
               (without / with_steal - 1.0) * 100.0);
@@ -93,16 +117,25 @@ void AblateShinjukuSlice() {
   for (int i = 2; i < 7; ++i) {
     workers.Set(i);
   }
-  for (Duration slice : {5'000, 10'000, 20'000, 50'000, 200'000}) {
-    Stack s = MakeEnokiStack(std::make_unique<ShinjukuSched>(0, slice, workers));
-    DispersiveConfig cfg;
-    cfg.rate_per_sec = 40'000;
-    cfg.runtime = Seconds(2);
-    cfg.worker_policy = s.policy;
-    cfg.cfs_policy = s.cfs_policy;
-    const auto r = RunDispersive(*s.core, cfg);
-    std::printf("%12.0f %14.1f %16.1f\n", static_cast<double>(slice) / 1e3,
-                ToMicroseconds(r.p99), r.achieved_kreq_per_sec);
+  const std::vector<Duration> slices = {5'000, 10'000, 20'000, 50'000, 200'000};
+  std::vector<std::pair<Duration, double>> results(slices.size());
+  SweepRunner sweep;
+  for (size_t i = 0; i < slices.size(); ++i) {
+    sweep.Add([&, i] {
+      Stack s = MakeEnokiStack(std::make_unique<ShinjukuSched>(0, slices[i], workers));
+      DispersiveConfig cfg;
+      cfg.rate_per_sec = 40'000;
+      cfg.runtime = Seconds(2);
+      cfg.worker_policy = s.policy;
+      cfg.cfs_policy = s.cfs_policy;
+      const auto r = RunDispersive(*s.core, cfg);
+      results[i] = {r.p99, r.achieved_kreq_per_sec};
+    });
+  }
+  sweep.Run();
+  for (size_t i = 0; i < slices.size(); ++i) {
+    std::printf("%12.0f %14.1f %16.1f\n", static_cast<double>(slices[i]) / 1e3,
+                ToMicroseconds(results[i].first), results[i].second);
   }
   std::printf("  -> short slices bound GET latency behind 10 ms scans; very long\n"
               "     slices degenerate toward CFS behaviour. The paper picked 10 us.\n\n");
@@ -151,8 +184,14 @@ void AblateWarmCores() {
     s.core->RunFor(Seconds(2));
     return std::make_pair(latencies->Percentile(50.0), latencies->Percentile(99.0));
   };
-  const auto [fifo_p50, fifo_p99] = run(false);
-  const auto [nest_p50, nest_p99] = run(true);
+  std::pair<Duration, Duration> fifo_r;
+  std::pair<Duration, Duration> nest_r;
+  SweepRunner sweep;
+  sweep.Add([&] { fifo_r = run(false); });
+  sweep.Add([&] { nest_r = run(true); });
+  sweep.Run();
+  const auto [fifo_p50, fifo_p99] = fifo_r;
+  const auto [nest_p50, nest_p99] = nest_r;
   std::printf("  round-robin spread: wake p50 %5.1f us, p99 %5.1f us\n",
               ToMicroseconds(fifo_p50), ToMicroseconds(fifo_p99));
   std::printf("  Nest (warm cores):  wake p50 %5.1f us, p99 %5.1f us\n",

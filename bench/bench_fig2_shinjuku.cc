@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/sweep_runner.h"
 #include "src/sched/shinjuku.h"
 #include "src/workloads/dispersive.h"
 
@@ -80,24 +81,39 @@ Point RunGhostShinjuku(double rate, bool batch) {
 void Run() {
   const std::vector<double> rates = {10e3, 20e3, 30e3, 40e3, 50e3, 60e3, 70e3, 80e3};
 
+  // Every sweep point is an independent simulation: compute them all on the
+  // pool, then print in program order (byte-identical for any thread count).
+  std::vector<Point> cfs_pts[2];
+  std::vector<Point> ghost_pts[2];
+  std::vector<Point> enoki_pts[2];
+  SweepRunner sweep;
+  for (int b = 0; b < 2; ++b) {
+    cfs_pts[b].resize(rates.size());
+    ghost_pts[b].resize(rates.size());
+    enoki_pts[b].resize(rates.size());
+    for (size_t i = 0; i < rates.size(); ++i) {
+      const double rate = rates[i];
+      const bool batch = b == 1;
+      sweep.Add([&, b, i, rate, batch] { cfs_pts[b][i] = RunCfs(rate, batch); });
+      sweep.Add([&, b, i, rate, batch] { ghost_pts[b][i] = RunGhostShinjuku(rate, batch); });
+      sweep.Add([&, b, i, rate, batch] { enoki_pts[b][i] = RunEnokiShinjuku(rate, batch); });
+    }
+  }
+  sweep.Run();
+
   for (bool batch : {false, true}) {
+    const int b = batch ? 1 : 0;
     std::printf("Figure 2%s: RocksDB dispersive load%s\n", batch ? "b/2c" : "a",
                 batch ? " co-located with a batch app (5 spinners, nice 19)" : "");
     std::printf("%-10s | %-22s | %-22s | %-22s\n", "", "CFS", "ghOSt-Shinjuku",
                 "Enoki-Shinjuku");
     std::printf("%-10s | %10s %11s | %10s %11s | %10s %11s\n", "offered", "kreq/s", "p99(us)",
                 "kreq/s", "p99(us)", "kreq/s", "p99(us)");
-    std::vector<Point> cfs_pts;
-    std::vector<Point> ghost_pts;
-    std::vector<Point> enoki_pts;
-    for (double rate : rates) {
-      cfs_pts.push_back(RunCfs(rate, batch));
-      ghost_pts.push_back(RunGhostShinjuku(rate, batch));
-      enoki_pts.push_back(RunEnokiShinjuku(rate, batch));
-      const Point& c = cfs_pts.back();
-      const Point& g = ghost_pts.back();
-      const Point& e = enoki_pts.back();
-      std::printf("%8.0fk | %10.1f %11.1f | %10.1f %11.1f | %10.1f %11.1f\n", rate / 1e3,
+    for (size_t i = 0; i < rates.size(); ++i) {
+      const Point& c = cfs_pts[b][i];
+      const Point& g = ghost_pts[b][i];
+      const Point& e = enoki_pts[b][i];
+      std::printf("%8.0fk | %10.1f %11.1f | %10.1f %11.1f | %10.1f %11.1f\n", rates[i] / 1e3,
                   c.kreq, ToMicroseconds(c.p99), g.kreq, ToMicroseconds(g.p99), e.kreq,
                   ToMicroseconds(e.p99));
     }
@@ -106,8 +122,8 @@ void Run() {
       std::printf("%-10s %10s %16s %16s\n", "offered", "CFS", "ghOSt-Shinjuku",
                   "Enoki-Shinjuku");
       for (size_t i = 0; i < rates.size(); ++i) {
-        std::printf("%8.0fk %10.2f %16.2f %16.2f\n", rates[i] / 1e3, cfs_pts[i].batch_cpus,
-                    ghost_pts[i].batch_cpus, enoki_pts[i].batch_cpus);
+        std::printf("%8.0fk %10.2f %16.2f %16.2f\n", rates[i] / 1e3, cfs_pts[b][i].batch_cpus,
+                    ghost_pts[b][i].batch_cpus, enoki_pts[b][i].batch_cpus);
       }
     }
     std::printf("\n");

@@ -1,0 +1,296 @@
+// Simulator hot-path microbenchmark: how fast does the event loop itself go?
+//
+// ghOSt (SOSP '21) reports scheduler-infrastructure overhead as a first-class
+// result; this bench does the same for the simulator substrate every other
+// experiment stands on. It drives three representative workloads end to end
+// and reports, per workload:
+//   - events/sec   : simulated events executed per wall-clock second
+//   - ns/event     : wall-clock nanoseconds per simulated event
+//   - allocs/event : heap allocations per simulated event (counted by a
+//                    global operator new override, so it sees everything)
+//
+// Flags:
+//   --quick                shorter runs (CI perf-smoke)
+//   --json=<path>          machine-readable rows (bench_common.h BenchJson)
+//   --check-against=<path> compare against a baseline BENCH_simperf.json and
+//                          exit nonzero on regression
+//   --max-regress=<frac>   regression tolerance for the check (default 0.25)
+//
+// The workload mix is chosen to stress the three event-queue behaviours that
+// matter: schbench (dense wake/block churn), pipe (long same-pattern chains
+// through the Enoki runtime), dispersive (timer-heavy Shinjuku with frequent
+// hrtimer cancellation).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/sched/shinjuku.h"
+#include "src/sched/wfq.h"
+#include "src/workloads/dispersive.h"
+#include "src/workloads/pipe.h"
+#include "src/workloads/schbench.h"
+
+// ---- Global allocation counter -------------------------------------------
+// Replacing operator new in this translation unit affects the whole binary,
+// which is exactly what we want: every heap allocation made while a workload
+// runs is attributed to it.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+// The replacement operator new routes through malloc, so the replacement
+// delete frees with free(); GCC cannot prove the pairing and warns at every
+// new-expression in the file.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace enoki {
+namespace {
+
+struct PerfResult {
+  std::string name;
+  uint64_t events = 0;
+  double wall_sec = 0.0;
+  uint64_t allocs = 0;
+  uint64_t seed = 0;
+
+  double events_per_sec() const { return wall_sec > 0 ? events / wall_sec : 0.0; }
+  double ns_per_event() const { return events > 0 ? wall_sec * 1e9 / events : 0.0; }
+  double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / events : 0.0;
+  }
+};
+
+// Runs `body(core)` against the stack, measuring the event loop around it.
+template <typename MakeStackFn, typename BodyFn>
+PerfResult Measure(const std::string& name, uint64_t seed, MakeStackFn make_stack,
+                   BodyFn body) {
+  Stack s = make_stack();
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  body(s);
+  const auto wall_end = std::chrono::steady_clock::now();
+  PerfResult r;
+  r.name = name;
+  r.seed = seed;
+  r.events = s.core->loop().events_executed();
+  r.wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  return r;
+}
+
+CpuMask ShinjukuWorkerMask() {
+  CpuMask m;
+  for (int i = 2; i < 7; ++i) {
+    m.Set(i);
+  }
+  return m;
+}
+
+std::vector<PerfResult> RunAll(bool quick) {
+  std::vector<PerfResult> out;
+
+  // schbench on CFS: wake/block churn through the pure simkernel path.
+  out.push_back(Measure(
+      "schbench", 0, [] { return MakeCfsStack(); },
+      [quick](Stack& s) {
+        SchbenchConfig cfg;
+        cfg.message_threads = 4;
+        cfg.workers_per_thread = 4;
+        cfg.warmup = Milliseconds(quick ? 50 : 200);
+        cfg.runtime = quick ? Milliseconds(500) : Seconds(4);
+        (void)RunSchbench(*s.core, s.policy, cfg);
+      }));
+
+  // pipe ping-pong through the Enoki runtime (WFQ): the per-callback message
+  // round-trip path.
+  out.push_back(Measure(
+      "pipe", 0, [] { return MakeEnokiStack(std::make_unique<WfqSched>(0)); },
+      [quick](Stack& s) {
+        PipeBenchConfig cfg;
+        cfg.messages = quick ? 30'000 : 300'000;
+        (void)RunPipeBench(*s.core, s.policy, cfg);
+      }));
+
+  // dispersive load under Enoki-Shinjuku: hrtimer arm/cancel heavy.
+  const uint64_t dispersive_seed = 7;
+  out.push_back(Measure(
+      "dispersive", dispersive_seed,
+      [] {
+        return MakeEnokiStack(std::make_unique<ShinjukuSched>(
+            0, ShinjukuSched::kDefaultPreemptionSliceNs, ShinjukuWorkerMask()));
+      },
+      [quick, dispersive_seed](Stack& s) {
+        DispersiveConfig cfg;
+        cfg.rate_per_sec = 40'000;
+        cfg.warmup = Milliseconds(quick ? 50 : 200);
+        cfg.runtime = quick ? Milliseconds(500) : Seconds(3);
+        cfg.worker_policy = s.policy;
+        cfg.cfs_policy = s.cfs_policy;
+        cfg.seed = dispersive_seed;
+        (void)RunDispersive(*s.core, cfg);
+      }));
+
+  return out;
+}
+
+// ---- Baseline comparison --------------------------------------------------
+// Parses the flat rows BenchJson writes (one object per line) without a JSON
+// library: good enough because we only ever read files we wrote.
+
+struct BaselineRow {
+  std::string config;
+  std::string metric;
+  double value = 0.0;
+};
+
+bool ExtractField(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) {
+    return false;
+  }
+  const size_t vstart = start + needle.size();
+  const size_t vend = line.find('"', vstart);
+  if (vend == std::string::npos) {
+    return false;
+  }
+  *out = line.substr(vstart, vend - vstart);
+  return true;
+}
+
+bool LoadBaseline(const std::string& path, std::vector<BaselineRow>* rows) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    BaselineRow row;
+    if (!ExtractField(line, "config", &row.config) ||
+        !ExtractField(line, "metric", &row.metric)) {
+      continue;
+    }
+    const size_t vpos = line.find("\"value\": ");
+    if (vpos == std::string::npos) {
+      continue;
+    }
+    row.value = std::strtod(line.c_str() + vpos + std::strlen("\"value\": "), nullptr);
+    rows->push_back(row);
+  }
+  return true;
+}
+
+double BaselineValue(const std::vector<BaselineRow>& rows, const std::string& config,
+                     const std::string& metric, bool* found) {
+  for (const BaselineRow& r : rows) {
+    if (r.config == config && r.metric == metric) {
+      *found = true;
+      return r.value;
+    }
+  }
+  *found = false;
+  return 0.0;
+}
+
+// Returns the number of regressions beyond tolerance.
+int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::string& path,
+                         double max_regress) {
+  std::vector<BaselineRow> baseline;
+  if (!LoadBaseline(path, &baseline)) {
+    std::fprintf(stderr, "bench_simperf: cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const PerfResult& r : results) {
+    bool found = false;
+    const double base_eps = BaselineValue(baseline, r.name, "events_per_sec", &found);
+    if (found && r.events_per_sec() < base_eps * (1.0 - max_regress)) {
+      std::fprintf(stderr,
+                   "REGRESSION %s events_per_sec: %.0f vs baseline %.0f (-%.1f%%)\n",
+                   r.name.c_str(), r.events_per_sec(), base_eps,
+                   (1.0 - r.events_per_sec() / base_eps) * 100.0);
+      ++failures;
+    }
+    const double base_ape = BaselineValue(baseline, r.name, "allocs_per_event", &found);
+    // Small absolute slack so a near-zero baseline doesn't make the relative
+    // gate impossibly tight.
+    if (found && r.allocs_per_event() > base_ape * (1.0 + max_regress) + 0.25) {
+      std::fprintf(stderr,
+                   "REGRESSION %s allocs_per_event: %.3f vs baseline %.3f\n",
+                   r.name.c_str(), r.allocs_per_event(), base_ape);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("baseline check: OK (tolerance %.0f%%, baseline %s)\n", max_regress * 100.0,
+                path.c_str());
+  }
+  return failures;
+}
+
+int Run(int argc, char** argv) {
+  const bool quick = BenchHasFlag(argc, argv, "--quick");
+  BenchJson json("bench_simperf", argc, argv);
+
+  std::printf("Simulator hot-path microbenchmark (%s mode)\n", quick ? "quick" : "full");
+  std::printf("%-12s %14s %14s %12s %14s\n", "workload", "events", "events/sec", "ns/event",
+              "allocs/event");
+
+  const std::vector<PerfResult> results = RunAll(quick);
+  for (const PerfResult& r : results) {
+    std::printf("%-12s %14llu %14.0f %12.1f %14.3f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.events_per_sec(),
+                r.ns_per_event(), r.allocs_per_event());
+    json.Row(r.name, "events_per_sec", r.events_per_sec(), r.seed);
+    json.Row(r.name, "ns_per_event", r.ns_per_event(), r.seed);
+    json.Row(r.name, "allocs_per_event", r.allocs_per_event(), r.seed);
+    json.Row(r.name, "events", static_cast<double>(r.events), r.seed);
+  }
+  json.Write();
+
+  if (const char* baseline = BenchArgValue(argc, argv, "--check-against")) {
+    double max_regress = 0.25;
+    if (const char* tol = BenchArgValue(argc, argv, "--max-regress")) {
+      max_regress = std::strtod(tol, nullptr);
+    }
+    return CheckAgainstBaseline(results, baseline, max_regress) == 0 ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace enoki
+
+int main(int argc, char** argv) { return enoki::Run(argc, argv); }

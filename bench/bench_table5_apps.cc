@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/sweep_runner.h"
 #include "src/base/stats.h"
 #include "src/sched/wfq.h"
 #include "src/workloads/apps.h"
@@ -23,16 +24,31 @@ void Run() {
   std::printf("%-28s %12s %12s %9s\n", "Benchmark", "CFS", "WFQ", "delta");
 
   const auto suite = Table5Suite(spec.ncpus);
+
+  // Each (benchmark, scheduler) pair is an independent simulation: run them
+  // all on the sweep pool, then report in suite order.
+  std::vector<AppResult> cfs_results(suite.size());
+  std::vector<AppResult> wfq_results(suite.size());
+  SweepRunner sweep;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    sweep.Add([&, i] {
+      Stack cfs = MakeCfsStack(spec);
+      cfs_results[i] = RunApp(*cfs.core, cfs.policy, suite[i]);
+    });
+    sweep.Add([&, i] {
+      Stack wfq = MakeEnokiStack(std::make_unique<WfqSched>(0), spec);
+      wfq_results[i] = RunApp(*wfq.core, wfq.policy, suite[i]);
+    });
+  }
+  sweep.Run();
+
   std::vector<double> ratios;
   double max_slowdown = 0.0;
   double max_speedup = 0.0;
-  for (const AppSpec& spec_entry : suite) {
-    Stack cfs = MakeCfsStack(spec);
-    const AppResult cfs_result = RunApp(*cfs.core, cfs.policy, spec_entry);
-
-    Stack wfq = MakeEnokiStack(std::make_unique<WfqSched>(0), spec);
-    const AppResult wfq_result = RunApp(*wfq.core, wfq.policy, spec_entry);
-
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const AppSpec& spec_entry = suite[i];
+    const AppResult& cfs_result = cfs_results[i];
+    const AppResult& wfq_result = wfq_results[i];
     if (!cfs_result.completed || !wfq_result.completed) {
       std::printf("%-28s DID NOT COMPLETE\n", spec_entry.name.c_str());
       continue;

@@ -1,0 +1,56 @@
+#include "bench/sweep_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace enoki {
+
+int SweepRunner::ThreadCount(size_t njobs) {
+  int n = 0;
+  if (const char* env = std::getenv("ENOKI_SWEEP_THREADS")) {
+    n = std::atoi(env);
+  }
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) {
+      n = 1;
+    }
+  }
+  if (static_cast<size_t>(n) > njobs) {
+    n = static_cast<int>(njobs);
+  }
+  return n < 1 ? 1 : n;
+}
+
+void SweepRunner::Run() {
+  const int nthreads = ThreadCount(jobs_.size());
+  if (nthreads <= 1) {
+    for (auto& job : jobs_) {
+      job();
+    }
+    jobs_.clear();
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs_.size()) {
+        return;
+      }
+      jobs_[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  jobs_.clear();
+}
+
+}  // namespace enoki

@@ -1,0 +1,47 @@
+// SweepRunner: a thread-pool harness for embarrassingly parallel benchmark
+// sweeps.
+//
+// The paper-reproduction benchmarks sweep offered load (or another axis)
+// across many fully independent simulations; serially they dominate bench
+// wall-clock. Each sweep point is a closed function of its config — separate
+// SchedCore, separate EventLoop, no shared mutable state — so points can run
+// on any thread in any order. (The only process-wide state the simulator
+// touches is the lock-hook registry, which is a null atomic outside
+// record/replay, and the thread-local kthread id.)
+//
+// Determinism contract: jobs must write results into caller-owned slots
+// (e.g. a pre-sized vector indexed by sweep point) and must not print.
+// Printing happens after Run() returns, in program order, so stdout is
+// byte-identical for any thread count — including 1.
+//
+// Thread count: ENOKI_SWEEP_THREADS if set (1 disables threading), else the
+// hardware concurrency, capped at the job count.
+
+#ifndef BENCH_SWEEP_RUNNER_H_
+#define BENCH_SWEEP_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+namespace enoki {
+
+class SweepRunner {
+ public:
+  // Queues one independent sweep point. Not thread-safe; call before Run().
+  void Add(std::function<void()> job) { jobs_.push_back(std::move(job)); }
+
+  // Runs every queued job and waits for completion. Jobs are claimed in
+  // submission order (earlier points start first). Clears the queue, so the
+  // runner can be reused for a subsequent phase.
+  void Run();
+
+  // Threads Run() would use for `njobs` jobs (for reporting).
+  static int ThreadCount(size_t njobs);
+
+ private:
+  std::vector<std::function<void()>> jobs_;
+};
+
+}  // namespace enoki
+
+#endif  // BENCH_SWEEP_RUNNER_H_

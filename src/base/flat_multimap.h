@@ -1,0 +1,76 @@
+// FlatMultimap: a sorted-vector replacement for the std::multimap run-queue
+// trees on the simulator's hot paths.
+//
+// std::multimap allocates a red-black node per insert, which made every CFS
+// and WFQ enqueue a heap allocation. Run queues are short (a handful of
+// entries on a sane machine), so a contiguous sorted vector is faster on
+// every operation despite O(n) inserts — the memmove touches one cache line
+// and there is no allocator traffic in steady state.
+//
+// Ordering contract (load-bearing for determinism): equal keys preserve
+// insertion order, exactly like std::multimap::emplace (which inserts at the
+// upper bound of the equal range). Simulation results are bit-for-bit
+// identical across the container swap.
+
+#ifndef SRC_BASE_FLAT_MULTIMAP_H_
+#define SRC_BASE_FLAT_MULTIMAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace enoki {
+
+template <typename K, typename V>
+class FlatMultimap {
+ public:
+  using value_type = std::pair<K, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+  void clear() { v_.clear(); }
+
+  const value_type& front() const { return v_.front(); }
+  const value_type& back() const { return v_.back(); }
+  const value_type& operator[](size_t i) const { return v_[i]; }
+
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  // Inserts at the end of the equal range, preserving insertion order among
+  // equal keys (std::multimap::emplace semantics).
+  void emplace(const K& key, V value) {
+    auto it = std::upper_bound(
+        v_.begin(), v_.end(), key,
+        [](const K& k, const value_type& e) { return k < e.first; });
+    v_.insert(it, value_type(key, std::move(value)));
+  }
+
+  void pop_front() { v_.erase(v_.begin()); }
+
+  // Removes the first entry with exactly this (key, value). Returns whether
+  // one was found.
+  bool erase_one(const K& key, const V& value) {
+    auto it = std::lower_bound(
+        v_.begin(), v_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+    for (; it != v_.end() && it->first == key; ++it) {
+      if (it->second == value) {
+        v_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void erase_at(size_t i) { v_.erase(v_.begin() + i); }
+
+ private:
+  std::vector<value_type> v_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_FLAT_MULTIMAP_H_

@@ -1,0 +1,92 @@
+// InlineFunction: a move-free, allocation-free alternative to std::function
+// for the simulator's hot paths.
+//
+// std::function pays for generality we never use: copyability, target_type
+// introspection, and a small-buffer limit (16 bytes in libstdc++) that the
+// simulator's typical captures ([this, cpu, task]) overflow, forcing a heap
+// allocation per scheduled event. InlineFunction stores the callable in a
+// caller-sized inline buffer and erases it with a two-entry static vtable
+// (invoke + destroy). Callables larger than the buffer still work — they fall
+// back to a single heap allocation — so correctness never depends on capture
+// size, only performance does.
+//
+// The type is deliberately neither copyable nor movable: the event loop keeps
+// events in stable slab slots, so the callable is constructed once, invoked
+// in place, and destroyed in place.
+
+#ifndef SRC_BASE_INLINE_FUNCTION_H_
+#define SRC_BASE_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace enoki {
+
+template <size_t kInlineBytes>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+  ~InlineFunction() { Reset(); }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  InlineFunction(InlineFunction&&) = delete;
+  InlineFunction& operator=(InlineFunction&&) = delete;
+
+  // Constructs the callable in place. Any previous callable is destroyed.
+  template <typename F>
+  void Set(F&& f) {
+    using D = std::decay_t<F>;
+    Reset();
+    if constexpr (FitsInline<D>()) {
+      new (buf_) D(std::forward<F>(f));
+      static constexpr Ops ops = {
+          [](void* p) { (*static_cast<D*>(p))(); },
+          [](void* p) { static_cast<D*>(p)->~D(); },
+      };
+      ops_ = &ops;
+    } else {
+      // Oversized capture: one heap allocation, owned by this object.
+      new (buf_) (D*)(new D(std::forward<F>(f)));
+      static constexpr Ops ops = {
+          [](void* p) { (**static_cast<D**>(p))(); },
+          [](void* p) { delete *static_cast<D**>(p); },
+      };
+      ops_ = &ops;
+    }
+  }
+
+  // Destroys the stored callable (freeing any captured state) immediately.
+  void Reset() {
+    if (ops_ != nullptr) {
+      const Ops* ops = ops_;
+      ops_ = nullptr;
+      ops->destroy(buf_);
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when callables of type D avoid the heap fallback.
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_INLINE_FUNCTION_H_

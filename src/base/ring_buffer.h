@@ -27,8 +27,13 @@ namespace enoki {
 template <typename T>
 class RingBuffer {
  public:
-  explicit RingBuffer(size_t capacity) : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {
-    ENOKI_CHECK(capacity > 0);
+  // Capacity must be a power of two: the hot path indexes with a mask
+  // instead of div/mod, and the free-running head/tail arithmetic relies on
+  // the slot count dividing the index space evenly. Callers that accept
+  // arbitrary user-supplied sizes round up first (see RoundUpPow2).
+  explicit RingBuffer(size_t capacity) : slots_(capacity), mask_(capacity - 1) {
+    ENOKI_CHECK_MSG(capacity > 0 && (capacity & (capacity - 1)) == 0,
+                    "RingBuffer capacity must be a power of two");
   }
 
   RingBuffer(const RingBuffer&) = delete;
@@ -66,7 +71,8 @@ class RingBuffer {
   size_t capacity() const { return slots_.size(); }
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
- private:
+  // Smallest power of two >= n (>= 1), for layers that accept arbitrary
+  // requested sizes (hint queues, the record ring).
   static size_t RoundUpPow2(size_t n) {
     size_t p = 1;
     while (p < n) {
@@ -75,6 +81,7 @@ class RingBuffer {
     return p;
   }
 
+ private:
   std::vector<T> slots_;
   const size_t mask_;
   std::atomic<size_t> head_{0};

@@ -1,44 +1,3 @@
+// All of the lock shim is header-inline for hot-path performance; this
+// translation unit just ensures the header is self-contained.
 #include "src/enoki/lock.h"
-
-#include <atomic>
-
-namespace enoki {
-namespace {
-
-std::atomic<LockHooks*> g_hooks{nullptr};
-std::atomic<uint64_t> g_next_lock_id{1};
-thread_local int g_kthread = 0;
-
-}  // namespace
-
-LockHooks* GetLockHooks() { return g_hooks.load(std::memory_order_acquire); }
-
-void SetLockHooks(LockHooks* hooks) { g_hooks.store(hooks, std::memory_order_release); }
-
-int GetCurrentKthread() { return g_kthread; }
-
-void SetCurrentKthread(int kthread) { g_kthread = kthread; }
-
-uint64_t AllocateLockId() { return g_next_lock_id.fetch_add(1, std::memory_order_relaxed); }
-
-SpinLock::SpinLock() : id_(AllocateLockId()) {
-  if (LockHooks* hooks = GetLockHooks()) {
-    hooks->OnLockCreate(id_);
-  }
-}
-
-void SpinLock::Acquire() {
-  if (LockHooks* hooks = GetLockHooks()) {
-    hooks->OnLockAcquire(id_);
-  }
-  mu_.lock();
-}
-
-void SpinLock::Release() {
-  mu_.unlock();
-  if (LockHooks* hooks = GetLockHooks()) {
-    hooks->OnLockRelease(id_);
-  }
-}
-
-}  // namespace enoki

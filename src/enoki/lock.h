@@ -4,19 +4,24 @@
 // locks. The wrappers delegate to pluggable hooks so the same scheduler code
 // runs unchanged in three modes:
 //  - normal kernel operation: hooks are a no-op (the simulated kernel is
-//    sequential; the mutex below still provides real exclusion when the
+//    sequential; the spinlock below still provides real exclusion when the
 //    module is exercised from real threads);
 //  - record mode: every create/acquire/release is appended to the record
 //    log together with the acquiring kernel-thread id, which is the paper's
 //    mechanism for making concurrent replay deterministic;
 //  - replay mode: acquisition blocks until it is this thread's recorded
 //    turn, reproducing the recorded interleaving exactly.
+//
+// Everything here is header-inline: Acquire/Release run once or twice per
+// scheduler callback (millions of times per simulated second), and in the
+// common no-hooks case they must compile down to a couple of atomic
+// instructions rather than an out-of-line call into a mutex.
 
 #ifndef SRC_ENOKI_LOCK_H_
 #define SRC_ENOKI_LOCK_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 
 namespace enoki {
 
@@ -24,36 +29,66 @@ class LockHooks {
  public:
   virtual ~LockHooks() = default;
   virtual void OnLockCreate(uint64_t lock_id) {}
-  // Called before the underlying mutex is taken; may block (replay mode).
+  // Called before the underlying lock is taken; may block (replay mode).
   virtual void OnLockAcquire(uint64_t lock_id) {}
   virtual void OnLockRelease(uint64_t lock_id) {}
 };
 
+namespace lock_internal {
+inline std::atomic<LockHooks*> g_hooks{nullptr};
+inline std::atomic<uint64_t> g_next_lock_id{1};
+inline thread_local int g_kthread = 0;
+}  // namespace lock_internal
+
 // Global hook installation. Null means no-op hooks.
-LockHooks* GetLockHooks();
-void SetLockHooks(LockHooks* hooks);
+inline LockHooks* GetLockHooks() {
+  return lock_internal::g_hooks.load(std::memory_order_acquire);
+}
+inline void SetLockHooks(LockHooks* hooks) {
+  lock_internal::g_hooks.store(hooks, std::memory_order_release);
+}
 
 // Identity of the "kernel thread" executing scheduler code on this host
 // thread; the runtime sets it to the CPU id around module calls, and the
 // replay engine sets it to the recorded kernel-thread id.
-int GetCurrentKthread();
-void SetCurrentKthread(int kthread);
+inline int GetCurrentKthread() { return lock_internal::g_kthread; }
+inline void SetCurrentKthread(int kthread) { lock_internal::g_kthread = kthread; }
 
-uint64_t AllocateLockId();
+inline uint64_t AllocateLockId() {
+  return lock_internal::g_next_lock_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 class SpinLock {
  public:
-  SpinLock();
+  SpinLock() : id_(AllocateLockId()) {
+    if (LockHooks* hooks = GetLockHooks()) {
+      hooks->OnLockCreate(id_);
+    }
+  }
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void Acquire();
-  void Release();
+  void Acquire() {
+    if (LockHooks* hooks = GetLockHooks()) [[unlikely]] {
+      hooks->OnLockAcquire(id_);
+    }
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      // Uncontended in the sequential simulator; spin for real threads.
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void Release() {
+    locked_.store(false, std::memory_order_release);
+    if (LockHooks* hooks = GetLockHooks()) [[unlikely]] {
+      hooks->OnLockRelease(id_);
+    }
+  }
   uint64_t id() const { return id_; }
 
  private:
   const uint64_t id_;
-  std::mutex mu_;
+  std::atomic<bool> locked_{false};
 };
 
 // RAII guard.

@@ -53,7 +53,8 @@ const char* RecordTypeName(RecordType type) {
   return "unknown";
 }
 
-Recorder::Recorder(size_t ring_capacity) : ring_(ring_capacity) {}
+Recorder::Recorder(size_t ring_capacity)
+    : ring_(RingBuffer<RecordEntry>::RoundUpPow2(ring_capacity)) {}
 
 void Recorder::Append(RecordEntry entry) {
   entry.seq = next_seq_++;

@@ -54,7 +54,7 @@ bool EnokiRuntime::ValidateForRun(const Schedulable& s, int cpu, Task** out_task
   if (SchedulableMinter::Generation(s) != t->token_generation_) {
     return false;
   }
-  if (queued_[cpu].count(s.pid()) == 0) {
+  if (!queued_[cpu].contains(s.pid())) {
     return false;
   }
   *out_task = t;
@@ -509,7 +509,7 @@ bool EnokiRuntime::Balance(int cpu) {
   // or its CPU already has a wakeup dispatch in flight, which is a benign
   // race any correct module can lose. Only the former feeds the watchdog.
   const bool valid_offer = t != nullptr && t->state() == TaskState::kRunnable && t->cpu() != cpu &&
-                           queued_[t->cpu()].count(*pid) > 0 && t->affinity().Test(cpu);
+                           queued_[t->cpu()].contains(*pid) && t->affinity().Test(cpu);
   const bool movable = valid_offer && !core_->CpuKickPending(t->cpu());
   if (!movable) {
     ++balance_errors_;
@@ -627,14 +627,16 @@ void EnokiRuntime::PushRevHint(int queue_id, const HintBlob& hint) {
 }
 
 int EnokiRuntime::CreateHintQueue(size_t capacity) {
-  user_queues_.push_back(std::make_unique<HintQueue>(capacity));
+  // The API accepts any requested size; the ring itself requires a power of
+  // two, so round up here (matching the kernel module's behaviour).
+  user_queues_.push_back(std::make_unique<HintQueue>(HintQueue::RoundUpPow2(capacity)));
   const int id = static_cast<int>(user_queues_.size()) - 1;
   module_->RegisterQueue(id);
   return id;
 }
 
 int EnokiRuntime::CreateRevQueue(size_t capacity) {
-  rev_queues_.push_back(std::make_unique<HintQueue>(capacity));
+  rev_queues_.push_back(std::make_unique<HintQueue>(HintQueue::RoundUpPow2(capacity)));
   const int id = static_cast<int>(rev_queues_.size()) - 1;
   module_->RegisterReverseQueue(id);
   return id;

@@ -18,7 +18,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/base/time.h"
@@ -141,9 +140,37 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   std::unique_ptr<EnokiSched> module_;
   Recorder* recorder_ = nullptr;
 
+  // Dense pid membership set. Pids are assigned densely from 1 and the
+  // runtime checks/updates membership on every queue transition, so a byte
+  // vector beats a hash set on the hot path.
+  class PidSet {
+   public:
+    bool contains(uint64_t pid) const { return pid < in_.size() && in_[pid] != 0; }
+    void insert(uint64_t pid) {
+      if (pid >= in_.size()) {
+        in_.resize(pid + 1, 0);
+      }
+      if (in_[pid] == 0) {
+        in_[pid] = 1;
+        ++count_;
+      }
+    }
+    void erase(uint64_t pid) {
+      if (pid < in_.size() && in_[pid] != 0) {
+        in_[pid] = 0;
+        --count_;
+      }
+    }
+    size_t size() const { return count_; }
+
+   private:
+    std::vector<uint8_t> in_;
+    size_t count_ = 0;
+  };
+
   // Kernel-side run-queue bookkeeping: pids queued (runnable, not running)
   // per CPU, and the pid running per CPU (0 = none / other class).
-  std::vector<std::unordered_set<uint64_t>> queued_;
+  std::vector<PidSet> queued_;
   std::vector<uint64_t> running_;
 
   std::vector<std::unique_ptr<HintQueue>> user_queues_;

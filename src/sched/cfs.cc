@@ -28,14 +28,7 @@ void CfsClass::Dequeue(Task* t, Entity& e) {
   if (!e.queued) {
     return;
   }
-  auto& tree = rqs_[e.cpu].tree;
-  auto range = tree.equal_range(e.vruntime);
-  for (auto it = range.first; it != range.second; ++it) {
-    if (it->second == t) {
-      tree.erase(it);
-      break;
-    }
-  }
+  rqs_[e.cpu].tree.erase_one(e.vruntime, t);
   e.queued = false;
 }
 
@@ -67,19 +60,24 @@ int CfsClass::SelectTaskRq(Task* t, int prev_cpu, bool wake_sync, bool is_new) {
     // already-queued wakee does not count.
     return prev_cpu;
   }
-  // Prefer an idle CPU in the previous CPU's node (LLC affinity).
+  // Prefer an idle CPU in the previous CPU's node (LLC affinity), then any
+  // idle CPU. One pass computes both candidates (first match in cpu order,
+  // exactly as the two-scan version chose).
   const int node = prev_cpu >= 0 ? core_->NodeOf(prev_cpu) : 0;
+  int idle_any = -1;
   for (int cpu = 0; cpu < ncpus; ++cpu) {
-    if (core_->NodeOf(cpu) == node && t->affinity().Test(cpu) && core_->CpuIdle(cpu) &&
-        rqs_[cpu].tree.empty()) {
-      return cpu;
+    if (!t->affinity().Test(cpu) || !core_->CpuIdle(cpu) || !rqs_[cpu].tree.empty()) {
+      continue;
+    }
+    if (core_->NodeOf(cpu) == node) {
+      return cpu;  // first idle CPU in the home node wins outright
+    }
+    if (idle_any < 0) {
+      idle_any = cpu;
     }
   }
-  // Then any idle CPU.
-  for (int cpu = 0; cpu < ncpus; ++cpu) {
-    if (t->affinity().Test(cpu) && core_->CpuIdle(cpu) && rqs_[cpu].tree.empty()) {
-      return cpu;
-    }
+  if (idle_any >= 0) {
+    return idle_any;
   }
   // Fall back to the least-loaded allowed CPU, preferring the home node and
   // breaking ties toward CPUs with no *queued* work: a CPU whose current
@@ -133,7 +131,7 @@ void CfsClass::DequeueTask(int cpu, Task* t, DequeueReason reason) {
   }
   e.running = false;
   if (reason == DequeueReason::kDead) {
-    entities_.erase(t->pid());
+    e = Entity{};  // pids are never reused; drop the captured state
   }
 }
 
@@ -146,11 +144,10 @@ Task* CfsClass::PickNextTask(int cpu) {
       return nullptr;
     }
   }
-  auto head = rq.tree.begin();
-  Task* t = head->second;
+  Task* t = rq.tree.front().second;
   Entity& e = Ent(t);
-  rq.min_vruntime = std::max(rq.min_vruntime, head->first);
-  rq.tree.erase(head);
+  rq.min_vruntime = std::max(rq.min_vruntime, rq.tree.front().first);
+  rq.tree.pop_front();
   e.queued = false;
   e.running = true;
   e.slice_start_runtime = e.last_runtime;
@@ -172,7 +169,7 @@ void CfsClass::TaskYielded(int cpu, Task* t) {
   Account(t, e);
   // yield_task_fair: move behind the current rightmost entity.
   if (!rqs_[cpu].tree.empty()) {
-    e.vruntime = std::max(e.vruntime, rqs_[cpu].tree.rbegin()->first + 1);
+    e.vruntime = std::max(e.vruntime, rqs_[cpu].tree.back().first + 1);
   }
   if (rqs_[cpu].running == t) {
     rqs_[cpu].running = nullptr;
@@ -184,10 +181,12 @@ bool CfsClass::WakeupPreempt(int cpu, Task* curr, Task* woken) {
   if (curr->sched_class() != this) {
     return false;
   }
+  // Read the woken vruntime before taking a reference to curr's entity:
+  // Ent() may grow the vector and invalidate earlier references.
+  const uint64_t woken_vr = Ent(woken).vruntime;
   Entity& ce = Ent(curr);
   Account(curr, ce);
-  const Entity& we = Ent(woken);
-  return we.vruntime + kWakeupGranularityNs < ce.vruntime;
+  return woken_vr + kWakeupGranularityNs < ce.vruntime;
 }
 
 void CfsClass::TaskTick(int cpu, Task* t) {
@@ -207,7 +206,7 @@ void CfsClass::TaskTick(int cpu, Task* t) {
   const Duration slice = std::max<Duration>(kMinGranularityNs, period / nr);
   const Duration ran = e.last_runtime - e.slice_start_runtime;
   const bool slice_expired = ran >= slice;
-  const bool lagging = rq.tree.begin()->first + kWakeupGranularityNs < e.vruntime;
+  const bool lagging = rq.tree.front().first + kWakeupGranularityNs < e.vruntime;
   if (slice_expired || lagging) {
     core_->SetNeedResched(cpu);
   }
@@ -250,8 +249,8 @@ bool CfsClass::PullOne(int cpu, bool newidle) {
   // Pull the task least likely to be cache-hot: the rightmost (largest
   // vruntime) eligible entity.
   auto& tree = rqs_[busiest].tree;
-  for (auto it = tree.rbegin(); it != tree.rend(); ++it) {
-    Task* t = it->second;
+  for (size_t i = tree.size(); i-- > 0;) {
+    Task* t = tree[i].second;
     if (!t->affinity().Test(cpu)) {
       continue;
     }

@@ -15,10 +15,9 @@
 #ifndef SRC_SCHED_CFS_H_
 #define SRC_SCHED_CFS_H_
 
-#include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/flat_multimap.h"
 #include "src/sched/nice_weights.h"
 #include "src/simkernel/sched_class.h"
 #include "src/simkernel/sched_core.h"
@@ -64,13 +63,21 @@ class CfsClass : public SchedClass {
   };
 
   struct CfsRq {
-    std::multimap<uint64_t, Task*> tree;  // vruntime -> task
+    FlatMultimap<uint64_t, Task*> tree;  // vruntime -> task
     uint64_t min_vruntime = 0;
     Task* running = nullptr;
     uint64_t tick_count = 0;
   };
 
-  Entity& Ent(Task* t) { return entities_[t->pid()]; }
+  // Pids are dense (assigned from 1), so per-task state lives in a vector
+  // indexed by pid rather than a hash map.
+  Entity& Ent(Task* t) {
+    const size_t pid = static_cast<size_t>(t->pid());
+    if (pid >= entities_.size()) {
+      entities_.resize(pid + 1);
+    }
+    return entities_[pid];
+  }
   void Account(Task* t, Entity& e);
   void Enqueue(int cpu, Task* t, Entity& e);
   void Dequeue(Task* t, Entity& e);
@@ -81,7 +88,7 @@ class CfsClass : public SchedClass {
   bool PullOne(int cpu, bool newidle);
 
   std::vector<CfsRq> rqs_;
-  std::unordered_map<uint64_t, Entity> entities_;
+  std::vector<Entity> entities_;  // indexed by pid
   uint64_t migrations_ = 0;
 };
 

@@ -22,14 +22,7 @@ void WfqSched::DequeueLocked(uint64_t pid, Entity& e) {
   if (!e.queued) {
     return;
   }
-  auto& q = queues_[e.cpu];
-  auto range = q.equal_range(e.vruntime);
-  for (auto it = range.first; it != range.second; ++it) {
-    if (it->second == pid) {
-      q.erase(it);
-      break;
-    }
-  }
+  queues_[e.cpu].erase_one(e.vruntime, pid);
   e.queued = false;
 }
 
@@ -41,8 +34,8 @@ int WfqSched::SelectTaskRq(const TaskMessage& msg) {
     size_t best_len = ~size_t{0};
     for (int cpu = 0; cpu < static_cast<int>(queues_.size()); ++cpu) {
       size_t len = queues_[cpu].size();
-      for (const auto& [pid, e] : entities_) {
-        if (e.running && e.cpu == cpu) {
+      for (const Entity& e : entities_) {
+        if (e.live && e.running && e.cpu == cpu) {
           ++len;
           break;
         }
@@ -60,15 +53,16 @@ int WfqSched::SelectTaskRq(const TaskMessage& msg) {
 
 void WfqSched::TaskNew(const TaskMessage& msg, Schedulable sched) {
   SpinLockGuard g(lock_);
-  Entity e;
-  e.weight = NiceToWeight(msg.nice);
-  e.last_runtime = msg.runtime;
-  e.vruntime = min_vruntime_[sched.cpu()];
   const int cpu = sched.cpu();
   const uint64_t pid = msg.pid;
-  auto [it, inserted] = entities_.insert_or_assign(pid, e);
-  EnqueueLocked(pid, it->second, cpu);
-  tokens_.insert_or_assign(pid, std::move(sched));
+  Entity& e = EntSlot(pid);
+  e = Entity{};
+  e.live = true;
+  e.weight = NiceToWeight(msg.nice);
+  e.last_runtime = msg.runtime;
+  e.vruntime = min_vruntime_[cpu];
+  EnqueueLocked(pid, e, cpu);
+  TokSlot(pid) = std::move(sched);
 }
 
 void WfqSched::TaskWakeup(const TaskMessage& msg, Schedulable sched) {
@@ -85,15 +79,17 @@ void WfqSched::TaskYield(const TaskMessage& msg, Schedulable sched) {
 
 void WfqSched::RequeueRunnable(const TaskMessage& msg, Schedulable sched, bool clamp_vruntime) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(msg.pid);
-  if (it == entities_.end()) {
+  Entity* found = FindEnt(msg.pid);
+  if (found == nullptr) {
     // First sighting (e.g. after an upgrade with partial state): adopt it.
-    Entity e;
-    e.weight = NiceToWeight(msg.nice);
-    e.last_runtime = msg.runtime;
-    it = entities_.insert_or_assign(msg.pid, e).first;
+    Entity& slot = EntSlot(msg.pid);
+    slot = Entity{};
+    slot.live = true;
+    slot.weight = NiceToWeight(msg.nice);
+    slot.last_runtime = msg.runtime;
+    found = &slot;
   }
-  Entity& e = it->second;
+  Entity& e = *found;
   Account(e, msg.runtime);
   const int cpu = sched.cpu();
   if (clamp_vruntime) {
@@ -106,52 +102,54 @@ void WfqSched::RequeueRunnable(const TaskMessage& msg, Schedulable sched, bool c
   }
   DequeueLocked(msg.pid, e);
   EnqueueLocked(msg.pid, e, cpu);
-  tokens_.insert_or_assign(msg.pid, std::move(sched));
+  TokSlot(msg.pid) = std::move(sched);
 }
 
 void WfqSched::TaskBlocked(const TaskMessage& msg) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(msg.pid);
-  if (it == entities_.end()) {
+  Entity* e = FindEnt(msg.pid);
+  if (e == nullptr) {
     return;
   }
-  Account(it->second, msg.runtime);
-  DequeueLocked(msg.pid, it->second);
-  it->second.running = false;
-  tokens_.erase(msg.pid);
+  Account(*e, msg.runtime);
+  DequeueLocked(msg.pid, *e);
+  e->running = false;
+  if (msg.pid < tokens_.size()) {
+    tokens_[msg.pid].reset();
+  }
 }
 
 void WfqSched::TaskDead(uint64_t pid) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(pid);
-  if (it != entities_.end()) {
-    DequeueLocked(pid, it->second);
-    entities_.erase(it);
+  Entity* e = FindEnt(pid);
+  if (e != nullptr) {
+    DequeueLocked(pid, *e);
+    *e = Entity{};  // pids are never reused; drop the state
   }
-  tokens_.erase(pid);
+  if (pid < tokens_.size()) {
+    tokens_[pid].reset();
+  }
 }
 
 std::optional<Schedulable> WfqSched::TaskDeparted(const TaskMessage& msg) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(msg.pid);
-  if (it != entities_.end()) {
-    DequeueLocked(msg.pid, it->second);
-    entities_.erase(it);
+  Entity* e = FindEnt(msg.pid);
+  if (e != nullptr) {
+    DequeueLocked(msg.pid, *e);
+    *e = Entity{};
   }
-  auto tok = tokens_.find(msg.pid);
-  if (tok == tokens_.end()) {
+  if (msg.pid >= tokens_.size() || !tokens_[msg.pid].has_value()) {
     return std::nullopt;
   }
-  Schedulable s = std::move(tok->second);
-  tokens_.erase(tok);
+  Schedulable s = std::move(*tokens_[msg.pid]);
+  tokens_[msg.pid].reset();
   return s;
 }
 
 void WfqSched::TaskPrioChanged(uint64_t pid, int nice) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(pid);
-  if (it != entities_.end()) {
-    it->second.weight = NiceToWeight(nice);
+  if (Entity* e = FindEnt(pid)) {
+    e->weight = NiceToWeight(nice);
   }
 }
 
@@ -161,21 +159,19 @@ std::optional<Schedulable> WfqSched::PickNextTask(int cpu, std::optional<Schedul
   if (q.empty()) {
     return std::nullopt;
   }
-  const auto head = q.begin();
-  const uint64_t pid = head->second;
-  min_vruntime_[cpu] = std::max(min_vruntime_[cpu], head->first);
-  q.erase(head);
-  auto it = entities_.find(pid);
-  ENOKI_CHECK(it != entities_.end());
-  it->second.queued = false;
-  it->second.running = true;
-  it->second.slice_start_runtime = it->second.last_runtime;
-  auto tok = tokens_.find(pid);
-  if (tok == tokens_.end()) {
+  const uint64_t pid = q.front().second;
+  min_vruntime_[cpu] = std::max(min_vruntime_[cpu], q.front().first);
+  q.pop_front();
+  Entity* e = FindEnt(pid);
+  ENOKI_CHECK(e != nullptr);
+  e->queued = false;
+  e->running = true;
+  e->slice_start_runtime = e->last_runtime;
+  if (pid >= tokens_.size() || !tokens_[pid].has_value()) {
     return std::nullopt;
   }
-  Schedulable s = std::move(tok->second);
-  tokens_.erase(tok);
+  Schedulable s = std::move(*tokens_[pid]);
+  tokens_[pid].reset();
   return s;
 }
 
@@ -196,14 +192,14 @@ std::optional<uint64_t> WfqSched::Balance(int cpu) {
   if (busiest < 0) {
     return std::nullopt;
   }
-  return queues_[busiest].begin()->second;
+  return queues_[busiest].front().second;
 }
 
 Schedulable WfqSched::MigrateTaskRq(const MigrateMessage& msg, Schedulable sched) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(msg.pid);
-  ENOKI_CHECK(it != entities_.end());
-  Entity& e = it->second;
+  Entity* found = FindEnt(msg.pid);
+  ENOKI_CHECK(found != nullptr);
+  Entity& e = *found;
   Account(e, msg.runtime);
   DequeueLocked(msg.pid, e);
   // Renormalize vruntime into the destination queue's timeline.
@@ -211,20 +207,19 @@ Schedulable WfqSched::MigrateTaskRq(const MigrateMessage& msg, Schedulable sched
   const uint64_t to_min = min_vruntime_[msg.to_cpu];
   e.vruntime = e.vruntime >= from_min ? to_min + (e.vruntime - from_min) : to_min;
   EnqueueLocked(msg.pid, e, msg.to_cpu);
-  auto tok = tokens_.find(msg.pid);
-  ENOKI_CHECK(tok != tokens_.end());
-  Schedulable old = std::move(tok->second);
-  tok->second = std::move(sched);
+  ENOKI_CHECK(msg.pid < tokens_.size() && tokens_[msg.pid].has_value());
+  Schedulable old = std::move(*tokens_[msg.pid]);
+  tokens_[msg.pid] = std::move(sched);
   return old;
 }
 
 void WfqSched::TaskTick(int cpu, uint64_t pid, Duration runtime) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(pid);
-  if (it == entities_.end()) {
+  Entity* found = FindEnt(pid);
+  if (found == nullptr) {
     return;
   }
-  Entity& e = it->second;
+  Entity& e = *found;
   Account(e, runtime);
   const auto& q = queues_[cpu];
   if (q.empty()) {
@@ -239,7 +234,7 @@ void WfqSched::TaskTick(int cpu, uint64_t pid, Duration runtime) {
   const bool slice_expired = ran >= slice;
   // Wakeup-style preemption at tick: a queued task with materially lower
   // vruntime should take over.
-  const bool lagging = q.begin()->first + kWakeupGranularityNs < e.vruntime;
+  const bool lagging = q.front().first + kWakeupGranularityNs < e.vruntime;
   if (slice_expired || lagging) {
     env_->ReschedCpu(cpu);
   }
@@ -281,8 +276,8 @@ size_t WfqSched::QueueDepth(int cpu) {
 
 uint64_t WfqSched::VruntimeOf(uint64_t pid) {
   SpinLockGuard g(lock_);
-  auto it = entities_.find(pid);
-  return it == entities_.end() ? 0 : it->second.vruntime;
+  Entity* e = FindEnt(pid);
+  return e == nullptr ? 0 : e->vruntime;
 }
 
 }  // namespace enoki

@@ -8,16 +8,20 @@
 // balance callback offers the head of the longest queue. It does not
 // implement CFS's hierarchical load balancing, cgroup weights, or NUMA
 // logic; Table 5 shows how far that simplification goes.
+//
+// Per-task state is indexed by pid in plain vectors (pids are dense, assigned
+// from 1), and run queues are flat sorted vectors: the per-message hash
+// lookups and per-enqueue node allocations of the map-based version dominated
+// the simulator profile.
 
 #ifndef SRC_SCHED_WFQ_H_
 #define SRC_SCHED_WFQ_H_
 
-#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/flat_multimap.h"
 #include "src/base/time.h"
 #include "src/enoki/api.h"
 #include "src/enoki/lock.h"
@@ -35,12 +39,13 @@ class WfqSched : public EnokiSched {
     int cpu = 0;
     bool queued = false;
     bool running = false;
+    bool live = false;  // slot holds a tracked task
   };
 
   struct Transfer {
-    std::unordered_map<uint64_t, Entity> entities;
-    std::unordered_map<uint64_t, Schedulable> tokens;
-    std::vector<std::multimap<uint64_t, uint64_t>> queues;  // vruntime -> pid
+    std::vector<Entity> entities;                       // indexed by pid
+    std::vector<std::optional<Schedulable>> tokens;     // indexed by pid
+    std::vector<FlatMultimap<uint64_t, uint64_t>> queues;  // vruntime -> pid
     std::vector<uint64_t> min_vruntime;
   };
 
@@ -91,11 +96,32 @@ class WfqSched : public EnokiSched {
   void DequeueLocked(uint64_t pid, Entity& e);
   void RequeueRunnable(const TaskMessage& msg, Schedulable sched, bool clamp_vruntime);
 
+  // Live entity for pid, or nullptr when untracked. Caller holds lock_.
+  Entity* FindEnt(uint64_t pid) {
+    if (pid >= entities_.size() || !entities_[pid].live) {
+      return nullptr;
+    }
+    return &entities_[pid];
+  }
+  // Slot for pid, grown on demand (not marked live). Caller holds lock_.
+  Entity& EntSlot(uint64_t pid) {
+    if (pid >= entities_.size()) {
+      entities_.resize(pid + 1);
+    }
+    return entities_[pid];
+  }
+  std::optional<Schedulable>& TokSlot(uint64_t pid) {
+    if (pid >= tokens_.size()) {
+      tokens_.resize(pid + 1);
+    }
+    return tokens_[pid];
+  }
+
   const int policy_id_;
   SpinLock lock_;
-  std::unordered_map<uint64_t, Entity> entities_;
-  std::unordered_map<uint64_t, Schedulable> tokens_;
-  std::vector<std::multimap<uint64_t, uint64_t>> queues_;
+  std::vector<Entity> entities_;                    // indexed by pid
+  std::vector<std::optional<Schedulable>> tokens_;  // indexed by pid
+  std::vector<FlatMultimap<uint64_t, uint64_t>> queues_;
   std::vector<uint64_t> min_vruntime_;
 };
 

@@ -1,19 +1,50 @@
-// Deterministic discrete-event loop.
+// Deterministic discrete-event loop over a hierarchical timing wheel.
 //
 // All simulated activity is driven by timestamped events. Ties are broken by
 // insertion sequence number so that simulation runs are reproducible
 // regardless of host platform or container ordering.
+//
+// The queue is the structure from Varghese & Lauck's "Hashed and Hierarchical
+// Timing Wheels" (SOSP '87) — the same shape as Linux's timer subsystem —
+// rather than a binary heap, because the simulator's workload is exactly the
+// kernel-timer workload: dense near-future ticks and hrtimers, frequently
+// cancelled (every compute segment and sleep arms a timer that a preemption
+// or wake may cancel). Design:
+//
+//  - kLevels levels of 64 buckets each; level L has 64^L-ns granularity, so
+//    the wheel spans 64^kLevels ns (~3.2 days of simulated time). Schedule
+//    and cancel are O(1); each event cascades down at most kLevels-1 times
+//    before it fires, so execution is amortized O(1) per event.
+//  - events beyond the wheel span wait in an overflow min-heap and are pulled
+//    into the wheel when their time comes within span.
+//  - the wheel clock (`wheel_now_`) may run ahead of executed time (`now_`)
+//    while locating the next event; the rare event scheduled behind the wheel
+//    clock (legal: anything >= now_) goes to a small "behind" min-heap that
+//    is merged by (time, seq) at staging, preserving exact ordering.
+//  - Event records are intrusive, slab-pooled, and never move; callbacks live
+//    in an inline small-buffer InlineFunction, so the steady-state hot path
+//    performs no heap allocation per event. Cancel unlinks the event from its
+//    bucket in O(1) and destroys the callback (and anything it captured)
+//    eagerly — a cancelled closure does not linger until its timestamp.
+//  - EventIds encode (slot, generation), so stale ids (double cancel, cancel
+//    after fire) are detected and rejected, same contract as before.
+//
+// Observable ordering is bit-for-bit identical to the previous binary-heap
+// implementation: strictly nondecreasing time, insertion order within a
+// timestamp (verified by the differential fuzz test in
+// tests/event_loop_test.cc).
 
 #ifndef SRC_SIMKERNEL_EVENT_LOOP_H_
 #define SRC_SIMKERNEL_EVENT_LOOP_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/inline_function.h"
 #include "src/base/time.h"
 
 namespace enoki {
@@ -23,8 +54,6 @@ constexpr EventId kInvalidEventId = 0;
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
-
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
@@ -33,55 +62,126 @@ class EventLoop {
 
   // Schedules `cb` to run at absolute time `at` (>= now). Returns an id that
   // can be passed to Cancel().
-  EventId ScheduleAt(Time at, Callback cb) {
+  template <typename F>
+  EventId ScheduleAt(Time at, F&& cb) {
     ENOKI_CHECK(at >= now_);
-    const EventId id = ++next_seq_;
-    queue_.push(Event{at, id, std::move(cb)});
+    Event* ev = AllocEvent();
+    ev->at = at;
+    ev->seq = ++next_seq_;
+    ev->cancelled = false;
+    ev->cb.Set(std::forward<F>(cb));
     ++live_events_;
-    return id;
+    if (at < wheel_now_) {
+      ev->where = Where::kBehindHeap;
+      HeapPush(&behind_, ev);
+    } else {
+      // The cached minimum came from a scan that cascaded every bucket whose
+      // range starts at or before it. An insert into such a bucket must
+      // force a rescan even when the event itself is later than the cached
+      // time — otherwise a cache-hit staging advances the wheel clock into
+      // the bucket's range with the event still parked at a high level,
+      // where the rotation labeling no longer describes it. Compare at
+      // bucket granularity: invalidate when the event's bucket range begins
+      // at or before the cached minimum.
+      if (wheel_peek_valid_) {
+        const int level = LevelFor(at - wheel_now_);
+        const int shift = kLevelBits * level;
+        if (level >= kLevels
+                ? at <= wheel_peek_cache_
+                : (at >> shift) <= (wheel_peek_cache_ >> shift)) {
+          wheel_peek_valid_ = false;
+        }
+      }
+      InsertWheel(ev);
+    }
+    return MakeId(ev);
   }
 
-  EventId ScheduleAfter(Duration delay, Callback cb) {
-    return ScheduleAt(now_ + delay, std::move(cb));
+  template <typename F>
+  EventId ScheduleAfter(Duration delay, F&& cb) {
+    return ScheduleAt(now_ + delay, std::forward<F>(cb));
   }
 
-  // Cancels a pending event. Cancelling an already-fired or already-cancelled
-  // event is a checked error: callers own their event ids.
+  // Cancels a pending event in O(1) and destroys its callback immediately —
+  // captured state (shared_ptrs, task references) is released at cancel time,
+  // not when the cancelled timestamp is reached. Cancelling an already-fired
+  // or already-cancelled event is a checked error: callers own their ids.
   void Cancel(EventId id) {
     ENOKI_CHECK(id != kInvalidEventId);
-    auto inserted = cancelled_.insert(id).second;
-    ENOKI_CHECK_MSG(inserted, "event cancelled twice");
+    Event* ev = LookupLive(id);
+    ENOKI_CHECK_MSG(ev != nullptr, "event cancelled twice or already fired");
     ENOKI_CHECK(live_events_ > 0);
     --live_events_;
+    // Removing the (possibly sole) earliest event moves the wheel minimum.
+    if (wheel_peek_valid_ && ev->at <= wheel_peek_cache_) {
+      wheel_peek_valid_ = false;
+    }
+    ev->cb.Reset();  // eager: the closure dies now
+    if (ev->where == Where::kBucket) {
+      UnlinkFromBucket(ev);
+      FreeEvent(ev);
+    } else {
+      // Heap-resident or staged events cannot be unlinked from the middle of
+      // their container; leave a callback-free tombstone to be skipped.
+      ev->cancelled = true;
+    }
   }
 
   bool HasWork() const { return live_events_ > 0; }
+  uint64_t live_events() const { return live_events_; }
+
+  // Time of the earliest pending event, or kTimeMax when idle. Skips over
+  // cancelled tombstones (freeing them) so RunUntil sees the true next time.
+  Time PeekTime() {
+    while (due_pos_ < due_.size() && due_[due_pos_]->cancelled) {
+      FreeEvent(due_[due_pos_++]);
+    }
+    if (due_pos_ < due_.size()) {
+      return due_[due_pos_]->at;
+    }
+    PurgeHeapTop(&behind_);
+    const Time wheel_t = WheelPeek();
+    const Time behind_t = behind_.empty() ? kTimeMax : behind_.front()->at;
+    return std::min(wheel_t, behind_t);
+  }
 
   // Runs the earliest pending event. Returns false when the queue is empty.
   bool RunOne() {
-    while (!queue_.empty()) {
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
-      auto it = cancelled_.find(ev.seq);
-      if (it != cancelled_.end()) {
-        cancelled_.erase(it);
+    for (;;) {
+      if (due_pos_ >= due_.size()) {
+        due_.clear();
+        due_pos_ = 0;
+        if (!StageNextBatch()) {
+          return false;
+        }
+      }
+      Event* ev = due_[due_pos_++];
+      if (ev->cancelled) {
+        FreeEvent(ev);
         continue;
       }
-      ENOKI_CHECK(ev.at >= now_);
-      now_ = ev.at;
+      ENOKI_CHECK(ev->at >= now_);
+      now_ = ev->at;
+      ENOKI_CHECK(live_events_ > 0);
       --live_events_;
       ++executed_;
-      ev.cb();
+      ev->where = Where::kExecuting;
+      ev->cb();  // may schedule or cancel other events
+      ev->cb.Reset();
+      FreeEvent(ev);
       return true;
     }
-    return false;
   }
 
   // Runs events until simulated time reaches `deadline` (events at exactly
   // `deadline` are executed) or the queue drains.
   void RunUntil(Time deadline) {
-    while (!queue_.empty()) {
-      if (PeekTime() > deadline) {
+    for (;;) {
+      const Time t = PeekTime();
+      if (t == kTimeMax) {
+        break;
+      }
+      if (t > deadline) {
         now_ = deadline;
         return;
       }
@@ -100,42 +200,350 @@ class EventLoop {
   uint64_t events_executed() const { return executed_; }
 
  private:
+  // 8 levels x 64 buckets: level L buckets are 64^L ns wide, total span
+  // 64^8 ns = 2^48 ns (~3.26 simulated days). Far enough that the overflow
+  // heap is effectively cold storage.
+  static constexpr int kLevelBits = 6;
+  static constexpr int kBucketsPerLevel = 1 << kLevelBits;  // 64
+  static constexpr int kLevels = 8;
+  static constexpr Time kWheelSpan = Time{1} << (kLevelBits * kLevels);
+  static constexpr uint32_t kSlabBits = 8;
+  static constexpr uint32_t kSlabSize = 1u << kSlabBits;  // events per slab
+
+  enum class Where : uint8_t {
+    kFree,
+    kBucket,        // intrusive doubly-linked list in a wheel bucket
+    kBehindHeap,    // scheduled behind the wheel clock
+    kOverflowHeap,  // beyond the wheel span
+    kStaged,        // in due_, about to execute
+    kExecuting,
+  };
+
   struct Event {
-    Time at;
-    EventId seq;
-    Callback cb;
+    Time at = 0;
+    uint64_t seq = 0;
+    Event* prev = nullptr;
+    Event* next = nullptr;
+    uint32_t slot = 0;
+    uint32_t gen = 0;
+    Where where = Where::kFree;
+    bool cancelled = false;
+    uint8_t level = 0;
+    uint8_t bucket = 0;
+    InlineFunction<64> cb;
   };
 
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
+  static EventId MakeId(const Event* ev) {
+    return (static_cast<EventId>(ev->slot) << 32) | ev->gen;
+  }
+
+  // ---- Slab pool ----
+
+  Event* AllocEvent() {
+    if (free_slots_.empty()) {
+      const uint32_t base = static_cast<uint32_t>(slabs_.size()) << kSlabBits;
+      slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+      Event* slab = slabs_.back().get();
+      free_slots_.reserve(free_slots_.size() + kSlabSize);
+      // Reversed so low slot numbers are handed out first (LIFO free list).
+      for (uint32_t i = kSlabSize; i-- > 0;) {
+        slab[i].slot = base + i;
+        free_slots_.push_back(base + i);
       }
-      return a.seq > b.seq;
+    }
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    Event* ev = SlotPtr(slot);
+    ++ev->gen;  // invalidates every id previously minted for this slot
+    ENOKI_CHECK(ev->where == Where::kFree);
+    return ev;
+  }
+
+  void FreeEvent(Event* ev) {
+    ev->where = Where::kFree;
+    ev->prev = ev->next = nullptr;
+    free_slots_.push_back(ev->slot);
+  }
+
+  Event* SlotPtr(uint32_t slot) {
+    return &slabs_[slot >> kSlabBits][slot & (kSlabSize - 1)];
+  }
+
+  // Resolves an id to its live (pending, uncancelled) event, or nullptr.
+  Event* LookupLive(EventId id) {
+    const uint32_t slot = static_cast<uint32_t>(id >> 32);
+    const uint32_t gen = static_cast<uint32_t>(id);
+    if (slot >= (static_cast<uint32_t>(slabs_.size()) << kSlabBits)) {
+      return nullptr;
+    }
+    Event* ev = SlotPtr(slot);
+    if (ev->gen != gen || ev->cancelled || ev->where == Where::kFree ||
+        ev->where == Where::kExecuting) {
+      return nullptr;
+    }
+    return ev;
+  }
+
+  // ---- Wheel ----
+
+  // Level for an event `delta` ns ahead of the wheel clock: the unique L with
+  // delta in [64^L, 64^(L+1)), i.e. floor(log64(delta)).
+  static int LevelFor(Time delta) {
+    return delta == 0 ? 0 : (std::bit_width(delta) - 1) / kLevelBits;
+  }
+
+  void InsertWheel(Event* ev) {
+    const Time delta = ev->at - wheel_now_;
+    const int level = LevelFor(delta);
+    if (level >= kLevels) {
+      ev->where = Where::kOverflowHeap;
+      HeapPush(&overflow_, ev);
+      return;
+    }
+    const int idx =
+        static_cast<int>((ev->at >> (kLevelBits * level)) & (kBucketsPerLevel - 1));
+    ev->where = Where::kBucket;
+    ev->level = static_cast<uint8_t>(level);
+    ev->bucket = static_cast<uint8_t>(idx);
+    ev->prev = nullptr;
+    ev->next = buckets_[level][idx];
+    if (ev->next != nullptr) {
+      ev->next->prev = ev;
+    }
+    buckets_[level][idx] = ev;
+    occupied_[level] |= uint64_t{1} << idx;
+  }
+
+  void UnlinkFromBucket(Event* ev) {
+    if (ev->prev != nullptr) {
+      ev->prev->next = ev->next;
+    } else {
+      buckets_[ev->level][ev->bucket] = ev->next;
+      if (ev->next == nullptr) {
+        occupied_[ev->level] &= ~(uint64_t{1} << ev->bucket);
+      }
+    }
+    if (ev->next != nullptr) {
+      ev->next->prev = ev->prev;
+    }
+    ev->prev = ev->next = nullptr;
+  }
+
+  // Detaches a whole bucket, returning its head.
+  Event* TakeBucket(int level, int idx) {
+    Event* head = buckets_[level][idx];
+    buckets_[level][idx] = nullptr;
+    occupied_[level] &= ~(uint64_t{1} << idx);
+    return head;
+  }
+
+  bool WheelEmpty() const {
+    for (int l = 0; l < kLevels; ++l) {
+      if (occupied_[l] != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Advances the wheel clock to the earliest pending wheel event, cascading
+  // higher-level buckets down as their ranges are entered, and returns that
+  // event's exact time (kTimeMax when the wheel and overflow are empty).
+  // After a non-kTimeMax return, the level-0 bucket for the returned time
+  // holds every wheel event at that time.
+  //
+  // The result is cached: peeking is the per-event hot path (RunOne and
+  // RunUntil both peek), and between mutations the cascaded wheel state
+  // cannot change, so the level scan would only rediscover the same bucket.
+  // The cache is dropped on any mutation that can move the minimum: an
+  // insert below it, a cancel at or below it, or staging consuming the
+  // minimum's bucket.
+  Time WheelPeek() {
+    if (wheel_peek_valid_) {
+      return wheel_peek_cache_;
+    }
+    for (;;) {
+      PurgeHeapTop(&overflow_);
+      if (WheelEmpty()) {
+        if (overflow_.empty()) {
+          wheel_peek_cache_ = kTimeMax;
+          wheel_peek_valid_ = true;
+          return kTimeMax;
+        }
+        // Nothing earlier anywhere: jump the clock to the overflow head so
+        // the pull below lands it in the wheel.
+        wheel_now_ = overflow_.front()->at;
+      }
+      while (!overflow_.empty() && overflow_.front()->at - wheel_now_ < kWheelSpan) {
+        Event* ev = HeapPop(&overflow_);
+        if (ev->cancelled) {
+          FreeEvent(ev);
+          continue;
+        }
+        InsertWheel(ev);
+      }
+
+      // Earliest occupied bucket across levels; on a tied start time prefer
+      // the highest level so cascades happen before execution.
+      Time best_start = kTimeMax;
+      int best_level = -1;
+      int best_idx = -1;
+      for (int l = 0; l < kLevels; ++l) {
+        if (occupied_[l] == 0) {
+          continue;
+        }
+        const int shift = kLevelBits * l;
+        const int cur = static_cast<int>((wheel_now_ >> shift) & (kBucketsPerLevel - 1));
+        // Rotation labeling. Buckets at index > cur hold this rotation and
+        // ones at index < cur hold the next; index cur itself depends on
+        // where the clock sits inside the bucket's range. If wheel_now_ is
+        // exactly at the range start (aligned to this level's bucket width),
+        // the bucket was just entered — e.g. via a higher-level cascade to a
+        // coinciding range start — and has not been cascaded yet, so its
+        // events are this rotation (only inserts from a strictly-later clock
+        // can be next-rotation). Once the clock is mid-bucket the bucket has
+        // been cascaded empty, and anything in it now wrapped around.
+        const bool aligned = (wheel_now_ & ((Time{1} << shift) - 1)) == 0;
+        const uint64_t cur_rotation =
+            aligned ? occupied_[l] & (~uint64_t{0} << cur)
+                    : (cur == kBucketsPerLevel - 1
+                           ? 0
+                           : occupied_[l] & (~uint64_t{0} << (cur + 1)));
+        const Time rotation_base = (wheel_now_ >> (shift + kLevelBits)) << (shift + kLevelBits);
+        int idx;
+        Time start;
+        if (cur_rotation != 0) {
+          idx = std::countr_zero(cur_rotation);
+          start = rotation_base + (static_cast<Time>(idx) << shift);
+        } else {
+          idx = std::countr_zero(occupied_[l]);
+          start = rotation_base + (Time{1} << (shift + kLevelBits)) +
+                  (static_cast<Time>(idx) << shift);
+        }
+        if (start <= best_start) {  // <=: later (higher) level wins ties
+          best_start = start;
+          best_level = l;
+          best_idx = idx;
+        }
+      }
+      if (best_level < 0) {
+        continue;  // wheel drained by tombstone purge; retry via overflow
+      }
+      // Never advance the clock past a parked overflow event. The best
+      // wheel bucket can start up to two spans ahead (a next-rotation
+      // top-level bucket), while overflow holds anything ≥ one span ahead
+      // of its insert-time clock — which may be earlier than best_start by
+      // now. Advance only to the overflow head so the pull above brings it
+      // into the wheel, then rescan.
+      if (!overflow_.empty() && overflow_.front()->at < best_start) {
+        wheel_now_ = overflow_.front()->at;
+        continue;
+      }
+      ENOKI_CHECK(best_start >= wheel_now_);
+      if (best_level == 0) {
+        // Exact: level-0 buckets are 1 ns wide.
+        wheel_peek_cache_ = best_start;
+        wheel_peek_valid_ = true;
+        return best_start;
+      }
+      // Enter the bucket's range and redistribute it into lower levels.
+      wheel_now_ = best_start;
+      Event* ev = TakeBucket(best_level, best_idx);
+      while (ev != nullptr) {
+        Event* next = ev->next;
+        InsertWheel(ev);
+        ev = next;
+      }
+    }
+  }
+
+  // Stages every event at the globally earliest pending time into due_,
+  // sorted by insertion seq. Returns false when no events are pending.
+  bool StageNextBatch() {
+    PurgeHeapTop(&behind_);
+    const Time wheel_t = WheelPeek();
+    const Time behind_t = behind_.empty() ? kTimeMax : behind_.front()->at;
+    const Time t = std::min(wheel_t, behind_t);
+    if (t == kTimeMax) {
+      return false;
+    }
+    if (wheel_t == t) {
+      wheel_now_ = t;  // safe: t is the minimum pending time
+      wheel_peek_valid_ = false;  // consuming the minimum's bucket
+      const int idx = static_cast<int>(t & (kBucketsPerLevel - 1));
+      for (Event* ev = TakeBucket(0, idx); ev != nullptr;) {
+        Event* next = ev->next;
+        ev->where = Where::kStaged;
+        ev->prev = ev->next = nullptr;
+        due_.push_back(ev);
+        ev = next;
+      }
+    }
+    while (!behind_.empty() && behind_.front()->at == t) {
+      Event* ev = HeapPop(&behind_);
+      if (ev->cancelled) {
+        FreeEvent(ev);
+        continue;
+      }
+      ev->where = Where::kStaged;
+      due_.push_back(ev);
+    }
+    if (due_.size() > 1) {
+      std::sort(due_.begin(), due_.end(),
+                [](const Event* a, const Event* b) { return a->seq < b->seq; });
+    }
+    return true;
+  }
+
+  // ---- Binary heaps for the two cold paths (overflow, behind-clock) ----
+
+  struct EarlierPtr {
+    bool operator()(const Event* a, const Event* b) const {
+      // std::push_heap builds a max-heap; invert for min-at-front.
+      if (a->at != b->at) {
+        return a->at > b->at;
+      }
+      return a->seq > b->seq;
     }
   };
 
-  Time PeekTime() {
-    // Skip over cancelled events at the head so RunUntil sees the true next
-    // event time.
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      auto it = cancelled_.find(top.seq);
-      if (it == cancelled_.end()) {
-        return top.at;
-      }
-      cancelled_.erase(it);
-      queue_.pop();
+  static void HeapPush(std::vector<Event*>* heap, Event* ev) {
+    heap->push_back(ev);
+    std::push_heap(heap->begin(), heap->end(), EarlierPtr{});
+  }
+
+  static Event* HeapPop(std::vector<Event*>* heap) {
+    std::pop_heap(heap->begin(), heap->end(), EarlierPtr{});
+    Event* ev = heap->back();
+    heap->pop_back();
+    return ev;
+  }
+
+  // Frees cancelled tombstones sitting at the heap front.
+  void PurgeHeapTop(std::vector<Event*>* heap) {
+    while (!heap->empty() && heap->front()->cancelled) {
+      FreeEvent(HeapPop(heap));
     }
-    return kTimeMax;
   }
 
   Time now_ = 0;
-  EventId next_seq_ = 0;
+  Time wheel_now_ = 0;  // wheel clock; may run ahead of now_ (never ahead of
+                        // the earliest pending event)
+  Time wheel_peek_cache_ = 0;  // last WheelPeek() result, if still valid
+  bool wheel_peek_valid_ = false;
+  uint64_t next_seq_ = 0;
   uint64_t live_events_ = 0;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+
+  uint64_t occupied_[kLevels] = {};
+  Event* buckets_[kLevels][kBucketsPerLevel] = {};
+  std::vector<Event*> overflow_;
+  std::vector<Event*> behind_;
+  std::vector<Event*> due_;  // current same-timestamp batch, seq order
+  size_t due_pos_ = 0;
+
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace enoki

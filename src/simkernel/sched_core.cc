@@ -77,15 +77,18 @@ Task* SchedCore::CreateTaskOn(std::string name, std::unique_ptr<TaskBody> body, 
   t->affinity_ = affinity.Intersect(CpuMask::All(spec_.ncpus));
   t->cpu_ = t->affinity_.First();
   tasks_.push_back(std::move(task));
-  tasks_by_pid_[t->pid()] = t;
   ++live_tasks_;
   WakeTaskInternal(t, /*sync=*/false, /*from_cpu=*/-1, /*is_new=*/true);
   return t;
 }
 
 Task* SchedCore::FindTask(uint64_t pid) const {
-  auto it = tasks_by_pid_.find(pid);
-  return it == tasks_by_pid_.end() ? nullptr : it->second;
+  // Pids are assigned densely from 1 and tasks are never destroyed before
+  // the core, so the task vector doubles as the pid table.
+  if (pid == 0 || pid > tasks_.size()) {
+    return nullptr;
+  }
+  return tasks_[pid - 1].get();
 }
 
 void SchedCore::WakeTaskExternal(Task* t, bool sync, int from_cpu) {

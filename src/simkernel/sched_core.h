@@ -21,7 +21,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/base/check.h"
@@ -242,8 +241,7 @@ class SchedCore {
   EventLoop loop_;
   std::vector<CpuState> cpus_;
   std::vector<SchedClass*> classes_;  // priority order
-  std::vector<std::unique_ptr<Task>> tasks_;
-  std::unordered_map<uint64_t, Task*> tasks_by_pid_;
+  std::vector<std::unique_ptr<Task>> tasks_;  // index pid-1: the pid table
   uint64_t next_pid_ = 1;
   uint64_t live_tasks_ = 0;
   uint64_t context_switches_ = 0;

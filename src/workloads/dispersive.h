@@ -110,34 +110,42 @@ inline DispersiveResult RunDispersive(SchedCore& core, const DispersiveConfig& c
   // context (network receive) rather than by a simulated task. The generator
   // reschedules a copy of itself, so the pending event owns the state — no
   // self-referential closure, nothing outlives the event loop.
-  struct LoadGen {
+  struct LoadGenState {
     std::shared_ptr<Shared> sh;
-    std::shared_ptr<Rng> rng;
+    Rng rng;
     double mean_gap_ns;
     DispersiveConfig cfg;
     Time end;
     SchedCore* core;
+  };
+  // The rescheduled callback carries one shared_ptr so it fits the event
+  // loop's inline callback buffer; the generator state is allocated once per
+  // run, not once per arrival.
+  struct LoadGen {
+    std::shared_ptr<LoadGenState> st;
     void operator()() const {
+      LoadGenState& s = *st;
       Request r;
-      r.arrival = core->now();
+      r.arrival = s.core->now();
       r.service =
-          rng->NextBernoulli(cfg.scan_fraction) ? cfg.scan_service : cfg.get_service;
-      sh->queue.push_back(r);
-      core->Signal(&sh->wq, /*sync=*/false, /*from_cpu=*/cfg.loadgen_cpu);
-      if (core->now() < end) {
+          s.rng.NextBernoulli(s.cfg.scan_fraction) ? s.cfg.scan_service : s.cfg.get_service;
+      s.sh->queue.push_back(r);
+      s.core->Signal(&s.sh->wq, /*sync=*/false, /*from_cpu=*/s.cfg.loadgen_cpu);
+      if (s.core->now() < s.end) {
         const Duration gap =
-            static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns)));
-        core->loop().ScheduleAfter(gap, *this);
+            static_cast<Duration>(std::max(1.0, s.rng.NextExponential(s.mean_gap_ns)));
+        s.core->loop().ScheduleAfter(gap, *this);
       }
     }
   };
   {
-    auto rng = std::make_shared<Rng>(config.seed);
     const double mean_gap_ns = 1e9 / config.rate_per_sec;
-    LoadGen gen{sh, rng, mean_gap_ns, config,
-                core.now() + config.warmup + config.runtime, &core};
-    core.loop().ScheduleAfter(
-        static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns))), gen);
+    auto st = std::make_shared<LoadGenState>(LoadGenState{
+        sh, Rng(config.seed), mean_gap_ns, config,
+        core.now() + config.warmup + config.runtime, &core});
+    const Duration first =
+        static_cast<Duration>(std::max(1.0, st->rng.NextExponential(mean_gap_ns)));
+    core.loop().ScheduleAfter(first, LoadGen{std::move(st)});
   }
 
   // Batch application (optional).

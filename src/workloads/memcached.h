@@ -106,36 +106,44 @@ inline McResult RunMemcached(SchedCore& core, const McConfig& config) {
   // context (network receive), not from a simulated task. The generator
   // reschedules a copy of itself, so the pending event owns the state — no
   // self-referential closure, nothing outlives the event loop.
-  struct LoadGen {
+  struct LoadGenState {
     std::shared_ptr<Shared> sh;
-    std::shared_ptr<Rng> rng;
+    Rng rng;
     double mean_gap_ns;
     McConfig cfg;
     bool arachne;
     Time end;
     SchedCore* core;
+  };
+  // The rescheduled callback carries one shared_ptr so it fits the event
+  // loop's inline callback buffer; the generator state is allocated once per
+  // run, not once per arrival.
+  struct LoadGen {
+    std::shared_ptr<LoadGenState> st;
     void operator()() const {
-      sh->queue.emplace_back(core->now(), mc_internal::SampleService(*rng, cfg));
-      ++sh->arrivals_window;
-      if (!arachne) {
+      LoadGenState& s = *st;
+      s.sh->queue.emplace_back(s.core->now(), mc_internal::SampleService(s.rng, s.cfg));
+      ++s.sh->arrivals_window;
+      if (!s.arachne) {
         // Baseline memcached: the receive path wakes a worker thread.
-        core->Signal(&sh->wq);
+        s.core->Signal(&s.sh->wq);
       }
       // Arachne activations poll their run queues; no kernel wakeup needed.
-      if (core->now() < end) {
+      if (s.core->now() < s.end) {
         const Duration gap =
-            static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns)));
-        core->loop().ScheduleAfter(gap, *this);
+            static_cast<Duration>(std::max(1.0, s.rng.NextExponential(s.mean_gap_ns)));
+        s.core->loop().ScheduleAfter(gap, *this);
       }
     }
   };
   {
-    auto rng = std::make_shared<Rng>(config.seed);
     const double mean_gap_ns = 1e9 / config.rate_per_sec;
-    LoadGen gen{sh, rng, mean_gap_ns, config, arachne,
-                core.now() + config.warmup + config.runtime, &core};
-    core.loop().ScheduleAfter(
-        static_cast<Duration>(std::max(1.0, rng->NextExponential(mean_gap_ns))), gen);
+    auto st = std::make_shared<LoadGenState>(LoadGenState{
+        sh, Rng(config.seed), mean_gap_ns, config, arachne,
+        core.now() + config.warmup + config.runtime, &core});
+    const Duration first =
+        static_cast<Duration>(std::max(1.0, st->rng.NextExponential(mean_gap_ns)));
+    core.loop().ScheduleAfter(first, LoadGen{std::move(st)});
   }
 
   if (!arachne) {

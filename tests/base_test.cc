@@ -276,9 +276,22 @@ TEST(RingBuffer, OverrunDrops) {
   EXPECT_EQ(rb.size(), 4u);
 }
 
-TEST(RingBuffer, CapacityRoundsToPow2) {
-  RingBuffer<int> rb(5);
+TEST(RingBuffer, CapacityIsExactForPow2) {
+  RingBuffer<int> rb(8);
   EXPECT_EQ(rb.capacity(), 8u);
+}
+
+TEST(RingBuffer, RoundUpPow2Helper) {
+  EXPECT_EQ(RingBuffer<int>::RoundUpPow2(0), 1u);
+  EXPECT_EQ(RingBuffer<int>::RoundUpPow2(1), 1u);
+  EXPECT_EQ(RingBuffer<int>::RoundUpPow2(5), 8u);
+  EXPECT_EQ(RingBuffer<int>::RoundUpPow2(1024), 1024u);
+  EXPECT_EQ(RingBuffer<int>::RoundUpPow2(1025), 2048u);
+}
+
+TEST(RingBufferDeathTest, RejectsNonPow2Capacity) {
+  EXPECT_DEATH(RingBuffer<int>(5), "power of two");
+  EXPECT_DEATH(RingBuffer<int>(0), "power of two");
 }
 
 TEST(RingBuffer, SpscThreaded) {

@@ -290,7 +290,8 @@ TEST_P(HintCapacity, AcceptsExactlyCapacity) {
       ++accepted;
     }
   }
-  // RingBuffer rounds capacity up to a power of two.
+  // The hint-queue layer rounds the requested capacity up to a power of
+  // two before constructing the ring (which requires pow2).
   size_t pow2 = 1;
   while (pow2 < cap) {
     pow2 <<= 1;
