@@ -1,15 +1,17 @@
 // Fault containment: a buggy scheduler cannot take the (simulated) kernel
-// down with it.
+// down with it — and with a supervisor, it usually doesn't even lose its job.
 //
 // We wrap the WFQ scheduler in a FaultInjector firing the full fault menu —
 // stale/forged/double-returned Schedulable tokens, dropped enqueues, escaped
-// exceptions, 20 ms callback spins, hint floods — and arm the watchdog. The
-// pipe ping-pong runs underneath. At some point a fault crosses a watchdog
-// threshold: the module is quarantined, its tasks are re-policied onto CFS
-// through the quiesce path, and a CrashReport (with the module's last calls,
-// courtesy of the record system) explains what happened. Every task still
-// completes — the same containment story sched_ext gives a misbehaving BPF
-// scheduler: kill it, fall back to CFS, leave a debug dump.
+// exceptions, 20 ms callback spins, hint floods — and arm the watchdog plus
+// the ModuleSupervisor. The pipe ping-pong runs underneath. When a fault
+// crosses a watchdog threshold the recovery ladder engages: the supervisor
+// rebuilds a fresh module instance after a simulated-time backoff, restores
+// its accounting state from the last good checkpoint, and puts it on
+// probation. Only when the restart budget for the window is exhausted does
+// the runtime fall to the terminal rung — quarantine, tasks re-policied
+// onto CFS, and a CrashReport (with the module's last calls, courtesy of
+// the record system) explaining what happened. Every task still completes.
 
 #include <cstdio>
 #include <memory>
@@ -17,6 +19,7 @@
 #include "src/enoki/record.h"
 #include "src/enoki/runtime.h"
 #include "src/fault/injector.h"
+#include "src/fault/supervisor.h"
 #include "src/fault/watchdog.h"
 #include "src/sched/cfs.h"
 #include "src/sched/wfq.h"
@@ -29,9 +32,9 @@ int main() {
   SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
 
   // WFQ, sabotaged: every kind of module misbehavior at modest rates.
-  FaultPlan plan = FaultPlan::FullMenu(/*seed=*/42);
-  auto injector = std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0), plan);
-  FaultInjector* inj = injector.get();
+  const uint64_t seed = 42;
+  auto injector =
+      std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0), FaultPlan::FullMenu(seed));
 
   EnokiRuntime runtime(std::move(injector));
   CfsClass cfs;
@@ -50,17 +53,27 @@ int main() {
   wcfg.starvation_bound_ns = Milliseconds(20);
   runtime.EnableWatchdog(wcfg, cfs_policy);
 
+  // Self-healing rung: up to 3 supervised restarts per rolling second, each
+  // restored from the last good checkpoint. (The replacement is just as
+  // buggy — same seed — so the demo usually climbs the whole ladder.)
+  runtime.EnableSupervisor(SupervisorConfig{}, [seed] {
+    return std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0),
+                                           FaultPlan::FullMenu(seed));
+  });
+
   std::printf("running pipe ping-pong under a sabotaged WFQ (seed %llu)...\n",
-              static_cast<unsigned long long>(plan.seed));
+              static_cast<unsigned long long>(seed));
 
   PipeBenchConfig pcfg;
   pcfg.messages = 2000;
   auto result = RunPipeBench(core, enoki_policy, pcfg);
 
-  const auto& counts = inj->counts();
-  std::printf("\ninjected faults: %llu total (%llu dropped enqueues, %llu stale tokens,\n"
-              "  %llu wrong-cpu tokens, %llu double returns, %llu throws, %llu busy spins,\n"
-              "  %llu hint floods); %llu tokens recovered via pnt_err\n",
+  // The supervisor may have swapped in fresh injector instances; read the
+  // counts from whichever one is currently installed.
+  const auto& counts = static_cast<FaultInjector*>(runtime.module())->counts();
+  std::printf("\ninjected faults (current instance): %llu total (%llu dropped enqueues,\n"
+              "  %llu stale tokens, %llu wrong-cpu tokens, %llu double returns, %llu throws,\n"
+              "  %llu busy spins, %llu hint floods); %llu tokens recovered via pnt_err\n",
               static_cast<unsigned long long>(counts.total()),
               static_cast<unsigned long long>(counts.dropped_enqueues),
               static_cast<unsigned long long>(counts.stale_tokens),
@@ -71,11 +84,18 @@ int main() {
               static_cast<unsigned long long>(counts.hint_floods),
               static_cast<unsigned long long>(counts.reinjected));
 
+  std::printf("\nrecovery ladder: %llu supervised restarts, %llu checkpoint rejects, "
+              "%llu escalations\n%s\n",
+              static_cast<unsigned long long>(runtime.module_restarts()),
+              static_cast<unsigned long long>(runtime.checkpoint_rejects()),
+              static_cast<unsigned long long>(runtime.supervisor()->escalations()),
+              runtime.supervisor()->TimelineString().c_str());
+
   if (runtime.quarantined()) {
-    std::printf("\nwatchdog tripped; module quarantined. CrashReport:\n%s\n",
+    std::printf("\nrestart budget exhausted; module quarantined. CrashReport:\n%s\n",
                 runtime.crash_report()->ToString().c_str());
   } else {
-    std::printf("\nwatchdog never tripped: validation absorbed every fault.\n");
+    std::printf("\nmodule still in service: the ladder absorbed every fault.\n");
   }
 
   std::printf("\nall tasks completed: %s (simulated time %.2f ms)\n",

@@ -27,6 +27,7 @@
 #include "src/base/niceness.h"
 #include "src/base/ring_buffer.h"
 #include "src/base/time.h"
+#include "src/enoki/checkpoint.h"
 
 namespace enoki {
 
@@ -226,6 +227,25 @@ class EnokiSched {
   // Live upgrade (section 3.2).
   virtual TransferState ReregisterPrepare() { return {}; }
   virtual void ReregisterInit(TransferState state) {}
+
+  // ---- Checkpointing (recovery ladder; see src/enoki/checkpoint.h) ----
+  // Serializes the module's *accounting* state (weights, virtual times,
+  // placement cursors) into `out`. Queue membership and Schedulable tokens
+  // must NOT be serialized: the runtime's kernel-side bookkeeping is
+  // authoritative for those, and after a restore it re-injects every queued
+  // task as a wakeup carrying a freshly minted token. Returns false when the
+  // module does not support checkpointing; the runtime then falls back to
+  // the non-transactional upgrade/quarantine behavior.
+  virtual bool SaveCheckpoint(ByteWriter* out) const { return false; }
+
+  // The payload format version SaveCheckpoint writes.
+  virtual uint32_t CheckpointVersion() const { return 0; }
+
+  // Restores state serialized by an instance whose CheckpointVersion() was
+  // `version`. Called on a quiesced (empty) module instance. Returns false
+  // when the version is unsupported or the payload is malformed; the module
+  // must be left usable (fresh) either way.
+  virtual bool LoadCheckpoint(uint32_t version, ByteReader* in) { return false; }
 
   // Hint queues (section 3.3). The runtime owns the ring buffers and drains
   // user hints into ParseHint synchronously before scheduling decisions

@@ -1,0 +1,128 @@
+// Checkpoints: versioned, checksummed snapshots of a module's accounting
+// state, taken at upgrade boundaries and consumed by the recovery ladder
+// (probation rollback and supervised restart — see DESIGN.md).
+//
+// A checkpoint deliberately captures *less* than a live-upgrade
+// TransferState: only the module's own accounting (weights, virtual times,
+// placement cursors), never queue membership and never Schedulable tokens.
+// The runtime's kernel-side bookkeeping is authoritative for those; after a
+// restore it re-injects every queued task as a wakeup with a freshly minted
+// token, so a checkpoint can never smuggle a stale proof back into a module.
+//
+// The byte format is explicit little-endian u64/u32 fields written through
+// ByteWriter and read back through ByteReader, whose reads are bounds-checked
+// so a truncated or hostile payload fails cleanly instead of invoking UB.
+// Seal() computes an FNV-1a checksum over the payload (folded with the
+// format version); Valid() recomputes it. The runtime refuses to hand a
+// checkpoint that fails Valid() to LoadCheckpoint at all — corruption is
+// detected, not deserialized.
+
+#ifndef SRC_ENOKI_CHECKPOINT_H_
+#define SRC_ENOKI_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace enoki {
+
+// Append-only little-endian serializer for checkpoint payloads.
+class ByteWriter {
+ public:
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Bounds-checked reader. Every read reports success; once a read runs past
+// the end the reader is poisoned and all further reads fail, so a truncated
+// payload cannot produce partially-garbage values silently.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : b_(&bytes) {}
+
+  bool U32(uint32_t* out) {
+    uint64_t v = 0;
+    if (!Raw(4, &v)) {
+      return false;
+    }
+    *out = static_cast<uint32_t>(v);
+    return true;
+  }
+  bool U64(uint64_t* out) { return Raw(8, out); }
+
+  bool AtEnd() const { return pos_ >= b_->size(); }
+  bool overrun() const { return overrun_; }
+  size_t remaining() const { return overrun_ ? 0 : b_->size() - pos_; }
+
+ private:
+  bool Raw(size_t n, uint64_t* out) {
+    if (overrun_ || b_->size() - pos_ < n) {
+      overrun_ = true;
+      return false;
+    }
+    uint64_t v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      v |= static_cast<uint64_t>((*b_)[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    *out = v;
+    return true;
+  }
+
+  const std::vector<uint8_t>* b_;
+  size_t pos_ = 0;
+  bool overrun_ = false;
+};
+
+// A sealed snapshot of one module's accounting state.
+struct Checkpoint {
+  uint32_t state_version = 0;  // the module's CheckpointVersion() at save
+  uint64_t sequence = 0;       // runtime-assigned, monotonically increasing
+  Time taken_at = 0;           // simulated time of the snapshot
+  std::vector<uint8_t> bytes;  // payload written by SaveCheckpoint
+  uint64_t checksum = 0;       // FNV-1a over (version, length, payload)
+
+  static uint64_t Fnv1a(const std::vector<uint8_t>& bytes, uint32_t version) {
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](uint8_t byte) {
+      h ^= byte;
+      h *= 1099511628211ull;
+    };
+    for (int i = 0; i < 4; ++i) {
+      mix(static_cast<uint8_t>(version >> (8 * i)));
+    }
+    const uint64_t len = bytes.size();
+    for (int i = 0; i < 8; ++i) {
+      mix(static_cast<uint8_t>(len >> (8 * i)));
+    }
+    for (uint8_t byte : bytes) {
+      mix(byte);
+    }
+    return h;
+  }
+
+  void Seal() { checksum = Fnv1a(bytes, state_version); }
+  bool Valid() const { return checksum == Fnv1a(bytes, state_version); }
+  size_t size_bytes() const { return bytes.size(); }
+};
+
+}  // namespace enoki
+
+#endif  // SRC_ENOKI_CHECKPOINT_H_

@@ -49,8 +49,25 @@ const char* RecordTypeName(RecordType type) {
       return "lock_acquire";
     case RecordType::kLockRelease:
       return "lock_release";
+    case RecordType::kUpgrade:
+      return "upgrade";
+    case RecordType::kUpgradeRollback:
+      return "upgrade_rollback";
+    case RecordType::kModuleRestart:
+      return "module_restart";
   }
   return "unknown";
+}
+
+std::vector<RecordEntry> FlightRecorder::Tail(size_t max_entries) const {
+  const uint64_t stored = seq_ < ring_.size() ? seq_ : ring_.size();
+  const uint64_t n = stored < max_entries ? stored : max_entries;
+  std::vector<RecordEntry> out;
+  out.reserve(n);
+  for (uint64_t i = seq_ - n; i < seq_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
 }
 
 Recorder::Recorder(size_t ring_capacity)

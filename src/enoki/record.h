@@ -44,6 +44,11 @@ enum class RecordType : uint8_t {
   kLockCreate,
   kLockAcquire,
   kLockRelease,
+  // Lifecycle events emitted by the runtime itself (not module calls):
+  // upgrades and the recovery ladder. Replay ignores them.
+  kUpgrade,
+  kUpgradeRollback,
+  kModuleRestart,
 };
 
 const char* RecordTypeName(RecordType type);
@@ -61,6 +66,33 @@ struct RecordEntry {
   uint64_t resp1 = 0;
   bool has_resp = false;
   bool flag = false;  // wake_sync and similar per-type booleans
+};
+
+// Always-on flight recorder: a small fixed ring of the most recent record
+// entries, appended to by the runtime even when no Recorder is attached, so
+// a CrashReport can carry the module's last calls without the record
+// system's ring+drain machinery (and without its per-call simulated cost —
+// a fixed-size in-kernel ring is free at this model's granularity).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 64) : ring_(capacity) {}
+
+  void Append(Time now, RecordEntry entry) {
+    entry.seq = ++seq_;
+    entry.time = now;
+    entry.kthread = GetCurrentKthread();
+    ring_[(seq_ - 1) % ring_.size()] = entry;
+  }
+
+  // Oldest-to-newest snapshot of the retained tail, at most `max_entries`.
+  std::vector<RecordEntry> Tail(size_t max_entries) const;
+
+  uint64_t appended() const { return seq_; }
+  size_t capacity() const { return ring_.size(); }
+
+ private:
+  std::vector<RecordEntry> ring_;
+  uint64_t seq_ = 0;
 };
 
 class Recorder : public LockHooks {

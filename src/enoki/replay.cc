@@ -15,7 +15,8 @@ namespace enoki {
 // the Nth kLockCreate entry in the trace.
 class ReplayEngine::LockOrderHooks : public LockHooks {
  public:
-  explicit LockOrderHooks(const std::vector<RecordEntry>& log) {
+  LockOrderHooks(const std::vector<RecordEntry>& log, int wait_timeout_ms)
+      : wait_timeout_ms_(wait_timeout_ms) {
     for (const RecordEntry& e : log) {
       if (e.type == RecordType::kLockCreate) {
         create_order_.push_back(e.arg[0]);
@@ -45,7 +46,7 @@ class ReplayEngine::LockOrderHooks : public LockHooks {
     const int me = GetCurrentKthread();
     if (state->next < seq->size() && (*seq)[state->next] != me) {
       ++blocks_;
-      const bool ok = cv_.wait_for(g, std::chrono::seconds(5), [&] {
+      const bool ok = cv_.wait_for(g, std::chrono::milliseconds(wait_timeout_ms_), [&] {
         return state->next >= seq->size() || (*seq)[state->next] == me;
       });
       if (!ok) {
@@ -94,6 +95,7 @@ class ReplayEngine::LockOrderHooks : public LockHooks {
     return &states_[mapped->second];
   }
 
+  const int wait_timeout_ms_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<uint64_t> create_order_;
@@ -105,13 +107,17 @@ class ReplayEngine::LockOrderHooks : public LockHooks {
   std::atomic<uint64_t> timeouts_{0};
 };
 
-ReplayEngine::ReplayEngine(std::vector<RecordEntry> log, int ncpus, int max_outstanding)
-    : log_(std::move(log)), env_(ncpus), max_outstanding_(max_outstanding) {}
+ReplayEngine::ReplayEngine(std::vector<RecordEntry> log, int ncpus, int max_outstanding,
+                           int lock_wait_timeout_ms)
+    : log_(std::move(log)),
+      env_(ncpus),
+      max_outstanding_(max_outstanding),
+      lock_wait_timeout_ms_(lock_wait_timeout_ms) {}
 
 ReplayEngine::~ReplayEngine() { SetLockHooks(nullptr); }
 
 void ReplayEngine::InstallHooks() {
-  hooks_ = std::make_unique<LockOrderHooks>(log_);
+  hooks_ = std::make_unique<LockOrderHooks>(log_, lock_wait_timeout_ms_);
   SetLockHooks(hooks_.get());
 }
 
@@ -225,6 +231,10 @@ void ReplayEngine::PerformCall(EnokiSched* module, const RecordEntry& e, ReplayR
     case RecordType::kLockAcquire:
     case RecordType::kLockRelease:
       break;  // driven by the module's own lock shims
+    case RecordType::kUpgrade:
+    case RecordType::kUpgradeRollback:
+    case RecordType::kModuleRestart:
+      break;  // lifecycle markers; replay runs a single module instance
   }
   if (check) {
     std::lock_guard<std::mutex> g(result_mu_);

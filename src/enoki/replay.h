@@ -61,7 +61,12 @@ class ReplayEngine {
  public:
   // `module` must be freshly constructed *after* the engine (so its locks
   // are created under the replay hooks); call AdoptModule once built.
-  ReplayEngine(std::vector<RecordEntry> log, int ncpus, int max_outstanding = 64);
+  // `lock_wait_timeout_ms` bounds how long a replay thread waits for its
+  // recorded lock turn before declaring the trace incomplete (counted in
+  // ReplayResult::lock_timeouts) and moving on; tests replaying truncated
+  // traces lower it so degradation is exercised quickly.
+  ReplayEngine(std::vector<RecordEntry> log, int ncpus, int max_outstanding = 64,
+               int lock_wait_timeout_ms = 5000);
   ~ReplayEngine();
 
   ReplayEngine(const ReplayEngine&) = delete;
@@ -83,6 +88,7 @@ class ReplayEngine {
   std::vector<RecordEntry> log_;
   ReplayEnv env_;
   const int max_outstanding_;
+  const int lock_wait_timeout_ms_;
   std::unique_ptr<LockOrderHooks> hooks_;
   std::mutex result_mu_;
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/fault/injector.h"
 
 namespace enoki {
 
@@ -71,6 +72,9 @@ void EnokiRuntime::Charge(int cpu) {
 }
 
 void EnokiRuntime::Record(RecordEntry entry) {
+  // The flight ring is always on: it is what lets a CrashReport carry the
+  // module's last calls even when full recording is disabled.
+  flight_.Append(core_->now(), entry);
   if (recorder_ != nullptr) {
     recorder_->SetTime(core_->now());
     recorder_->Append(entry);
@@ -120,8 +124,17 @@ void EnokiRuntime::FinishCall(const char* site) {
     char buf[128];
     std::snprintf(buf, sizeof(buf), "%s consumed %" PRIu64 "ns (budget %" PRIu64 "ns)", site,
                   static_cast<uint64_t>(lat),
-                  static_cast<uint64_t>(watchdog_->config().callback_budget_ns));
+                  static_cast<uint64_t>(watchdog_->effective_callback_budget()));
     TripWatchdog(TripReason::kCallbackBudget, buf);
+    return;
+  }
+  // Probation bookkeeping: the window also closes after surviving N calls.
+  if (in_probation_ && !recovering_ && !ModuleOffline()) {
+    ++probation_calls_seen_;
+    const uint64_t limit = watchdog_->probation().window_calls;
+    if (limit > 0 && probation_calls_seen_ >= limit) {
+      CommitProbation();
+    }
   }
 }
 
@@ -142,10 +155,9 @@ void EnokiRuntime::AbortModule(const std::string& reason) {
 }
 
 void EnokiRuntime::TripWatchdog(TripReason reason, std::string detail) {
-  if (quarantined_ || watchdog_ == nullptr) {
+  if (ModuleOffline() || recovering_ || watchdog_ == nullptr) {
     return;
   }
-  quarantined_ = true;
   CrashReport report = watchdog_->BuildReport(reason, std::move(detail), core_->now());
   // The runtime's counters are authoritative: they also cover events from
   // before EnableWatchdog.
@@ -158,12 +170,60 @@ void EnokiRuntime::TripWatchdog(TripReason reason, std::string detail) {
     const auto& log = recorder_->log();
     const size_t n = std::min(log.size(), watchdog_->config().crash_ring_entries);
     report.last_calls.assign(log.end() - static_cast<std::ptrdiff_t>(n), log.end());
+  } else {
+    report.last_calls = flight_.Tail(watchdog_->config().crash_ring_entries);
   }
   crash_report_ = std::move(report);
+
+  // Recovery ladder, rung 2: a trip inside an upgrade's probation window
+  // condemns the incoming module — roll the transaction back to the
+  // checkpointed predecessor instead of quarantining.
+  if (in_probation_ && upgrade_txn_ && prev_module_ != nullptr) {
+    rollback_pending_ = true;
+    ++recovery_epoch_;  // cancel the probation timer
+    ENOKI_WARN("enoki: watchdog tripped (%s) during upgrade probation: %s; rolling back",
+               TripReasonName(crash_report_->reason), crash_report_->detail.c_str());
+    // The trip can fire deep inside a scheduling operation (mid-pick,
+    // mid-wakeup). Defer the module swap to a clean event boundary.
+    core_->loop().ScheduleAfter(0, [this] { PerformRollback(); });
+    return;
+  }
+
+  // Rung 3: a supervised module restarts from its last good checkpoint
+  // after the supervisor's backoff, as long as the window budget holds.
+  if (supervisor_ != nullptr) {
+    const RestartDecision d = supervisor_->OnTrip(*crash_report_, core_->now());
+    if (d.action == RecoveryAction::kRestart) {
+      restart_pending_ = true;
+      restart_attempt_ = d.attempt;
+      if (in_probation_) {
+        in_probation_ = false;
+        watchdog_->EndProbation();
+      }
+      const uint64_t epoch = ++recovery_epoch_;
+      ENOKI_WARN("enoki: watchdog tripped (%s): %s; supervised restart #%" PRIu64
+                 " in %" PRIu64 "ns",
+                 TripReasonName(crash_report_->reason), crash_report_->detail.c_str(), d.attempt,
+                 static_cast<uint64_t>(d.backoff_ns));
+      core_->loop().ScheduleAfter(d.backoff_ns, [this, epoch] {
+        if (epoch == recovery_epoch_ && restart_pending_) {
+          PerformRestart();
+        }
+      });
+      return;
+    }
+    ENOKI_WARN("enoki: supervisor restart budget exhausted; escalating to quarantine");
+  }
+
+  // Rung 4 (terminal): quarantine + CFS fallback.
+  quarantined_ = true;
+  if (in_probation_) {
+    in_probation_ = false;
+    watchdog_->EndProbation();
+  }
+  ++recovery_epoch_;
   ENOKI_WARN("enoki: watchdog tripped (%s): %s; quarantining module",
              TripReasonName(crash_report_->reason), crash_report_->detail.c_str());
-  // The trip can fire deep inside a scheduling operation (mid-pick,
-  // mid-wakeup). Defer the fallback sweep to a clean event boundary.
   core_->loop().ScheduleAfter(0, [this] { ExecuteFallback(); });
 }
 
@@ -217,8 +277,245 @@ void EnokiRuntime::ExecuteFallback() {
              moved, fallback_policy_, static_cast<uint64_t>(pause));
 }
 
+// ---- Recovery ladder internals ----
+
+void EnokiRuntime::EnableSupervisor(const SupervisorConfig& config, ModuleFactory factory) {
+  ENOKI_CHECK(watchdog_ != nullptr);  // the supervisor sits above the watchdog
+  ENOKI_CHECK(factory != nullptr);
+  supervisor_ = std::make_unique<ModuleSupervisor>(config, std::move(factory));
+  // Seed the last-good checkpoint so even the first restart has a restore
+  // point (modules without checkpoint support restart fresh).
+  CheckpointNow();
+}
+
+bool EnokiRuntime::CheckpointNow() {
+  Checkpoint ck;
+  if (!TakeCheckpoint(module_.get(), &ck)) {
+    return false;
+  }
+  core_->ChargeCpu(0, core_->costs().checkpoint_save_ns);
+  last_good_ = std::move(ck);
+  return true;
+}
+
+bool EnokiRuntime::TakeCheckpoint(EnokiSched* module, Checkpoint* out) {
+  ByteWriter w;
+  bool ok = false;
+  try {
+    ok = module->SaveCheckpoint(&w);
+  } catch (...) {
+    ok = false;  // a throwing saver is treated as "no checkpoint support"
+  }
+  if (!ok) {
+    return false;
+  }
+  out->state_version = module->CheckpointVersion();
+  out->sequence = ++checkpoint_seq_;
+  out->taken_at = core_->now();
+  out->bytes = w.Take();
+  out->Seal();
+  if (saboteur_ != nullptr) {
+    // Simulated storage rot happens after sealing, so validation must
+    // catch it at restore time.
+    saboteur_->MaybeCorrupt(out);
+  }
+  return true;
+}
+
+bool EnokiRuntime::RestoreFromCheckpoint(EnokiSched* module) {
+  if (!last_good_.has_value()) {
+    return false;
+  }
+  if (!last_good_->Valid()) {
+    ++checkpoint_rejects_;
+    ENOKI_WARN("enoki: checkpoint #%" PRIu64
+               " failed checksum validation; refusing to deserialize, starting fresh",
+               last_good_->sequence);
+    last_good_.reset();  // never offer a corrupt checkpoint twice
+    return false;
+  }
+  ByteReader r(last_good_->bytes);
+  bool ok = false;
+  try {
+    ok = module->LoadCheckpoint(last_good_->state_version, &r);
+  } catch (...) {
+    ok = false;
+  }
+  if (!ok) {
+    ENOKI_WARN("enoki: module rejected checkpoint #%" PRIu64 " (version %u); starting fresh",
+               last_good_->sequence, last_good_->state_version);
+  }
+  return ok;
+}
+
+uint64_t EnokiRuntime::ReinjectQueuedTasks() {
+  uint64_t injected = 0;
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    queued_[cpu].ForEach([&](uint64_t pid) {
+      Task* t = core_->FindTask(pid);
+      if (t == nullptr || t->state() != TaskState::kRunnable) {
+        return;
+      }
+      SetCurrentKthread(cpu);
+      TaskMessage msg = MakeMsg(t, cpu);
+      Charge(cpu);
+      RecordEntry e;
+      e.type = RecordType::kTaskWakeup;
+      e.pid = pid;
+      e.cpu = cpu;
+      e.runtime = msg.runtime;
+      e.arg[0] = static_cast<uint64_t>(t->nice() - kMinNice);
+      Record(e);
+      Guarded("reinject_wakeup", [&] { module_->TaskWakeup(msg, Mint(t, cpu)); });
+      ++injected;
+    });
+  }
+  return injected;
+}
+
+void EnokiRuntime::BeginProbation(const ProbationConfig& cfg, bool upgrade_txn) {
+  ENOKI_CHECK(watchdog_ != nullptr);
+  in_probation_ = true;
+  upgrade_txn_ = upgrade_txn;
+  probation_calls_seen_ = 0;
+  watchdog_->BeginProbation(cfg);
+  const uint64_t epoch = ++recovery_epoch_;
+  if (cfg.window_ns > 0) {
+    core_->loop().ScheduleAfter(cfg.window_ns, [this, epoch] {
+      if (epoch == recovery_epoch_ && in_probation_) {
+        CommitProbation();
+      }
+    });
+  }
+}
+
+void EnokiRuntime::CommitProbation() {
+  ENOKI_CHECK(in_probation_);
+  in_probation_ = false;
+  upgrade_txn_ = false;
+  watchdog_->EndProbation();
+  ++recovery_epoch_;  // cancel the probation window timer
+  prev_module_.reset();  // the predecessor stops being a rollback target
+  // The module proved itself: its current state becomes the new last-good.
+  Checkpoint ck;
+  if (TakeCheckpoint(module_.get(), &ck)) {
+    core_->ChargeCpu(0, core_->costs().checkpoint_save_ns);
+    last_good_ = std::move(ck);
+  }
+  if (supervisor_ != nullptr) {
+    supervisor_->OnHealthy(core_->now());
+  }
+}
+
+void EnokiRuntime::PerformRollback() {
+  ENOKI_CHECK(rollback_pending_);
+  ENOKI_CHECK(prev_module_ != nullptr);
+  // Wait out any in-flight context switch, as the fallback sweep does: a
+  // task mid-dispatch was picked by the condemned module and must land
+  // before the swap.
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    if (core_->CpuInSwitch(cpu)) {
+      core_->loop().ScheduleAfter(core_->costs().context_switch_ns, [this] { PerformRollback(); });
+      return;
+    }
+  }
+  in_probation_ = false;
+  upgrade_txn_ = false;
+  watchdog_->EndProbation();
+  module_ = std::move(prev_module_);  // the condemned module dies here
+  // Re-attach: ReregisterPrepare moved the predecessor's per-CPU structures
+  // out, and a failed restore must still leave it with sized (if empty)
+  // state rather than a hollow shell.
+  module_->Attach(this);
+  recovering_ = true;
+  const bool restored = RestoreFromCheckpoint(module_.get());
+  const uint64_t reinjected = ReinjectQueuedTasks();
+  recovering_ = false;
+  // The predecessor is trusted: the condemned module's strikes die with it.
+  watchdog_->ResetCounters();
+  ++rollbacks_;
+  rollback_pending_ = false;
+  ++recovery_epoch_;
+  const SimCosts& costs = core_->costs();
+  const Duration pause = costs.upgrade_swap_ns +
+                         static_cast<Duration>(core_->ncpus()) * costs.upgrade_percpu_drain_ns +
+                         static_cast<Duration>(reinjected) * costs.restore_pertask_ns;
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    core_->ChargeCpu(cpu, pause);
+  }
+  RecordEntry e;
+  e.type = RecordType::kUpgradeRollback;
+  e.arg[0] = restored ? 1 : 0;
+  e.arg[1] = reinjected;
+  Record(e);
+  ENOKI_WARN("enoki: rolled back to checkpointed predecessor (restored=%d, %" PRIu64
+             " tasks re-injected, pause %" PRIu64 "ns)",
+             restored ? 1 : 0, reinjected, static_cast<uint64_t>(pause));
+  KickAllCpus();
+}
+
+void EnokiRuntime::PerformRestart() {
+  ENOKI_CHECK(restart_pending_);
+  ENOKI_CHECK(supervisor_ != nullptr);
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    if (core_->CpuInSwitch(cpu)) {
+      core_->loop().ScheduleAfter(core_->costs().context_switch_ns, [this] { PerformRestart(); });
+      return;
+    }
+  }
+  std::unique_ptr<EnokiSched> fresh = supervisor_->MakeModule();
+  ENOKI_CHECK(fresh != nullptr);
+  module_ = std::move(fresh);
+  module_->Attach(this);
+  // A factory-fresh instance never saw CreateHintQueue: re-register every
+  // existing queue id so hints keep flowing after the restart.
+  for (size_t qid = 0; qid < user_queues_.size(); ++qid) {
+    if (user_queues_[qid] != nullptr) {
+      module_->RegisterQueue(static_cast<int>(qid));
+    }
+  }
+  for (size_t qid = 0; qid < rev_queues_.size(); ++qid) {
+    if (rev_queues_[qid] != nullptr) {
+      module_->RegisterReverseQueue(static_cast<int>(qid));
+    }
+  }
+  // Fresh instance, fresh strikes.
+  watchdog_->ResetCounters();
+  recovering_ = true;
+  const bool restored = RestoreFromCheckpoint(module_.get());
+  const uint64_t reinjected = ReinjectQueuedTasks();
+  recovering_ = false;
+  ++module_restarts_;
+  restart_pending_ = false;
+  const SimCosts& costs = core_->costs();
+  const Duration pause = costs.module_restart_ns +
+                         static_cast<Duration>(core_->ncpus()) * costs.upgrade_percpu_drain_ns +
+                         static_cast<Duration>(reinjected) * costs.restore_pertask_ns;
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    core_->ChargeCpu(cpu, pause);
+  }
+  supervisor_->OnRestartComplete(core_->now(), restored);
+  RecordEntry e;
+  e.type = RecordType::kModuleRestart;
+  e.arg[0] = restart_attempt_;
+  e.arg[1] = restored ? 1 : 0;
+  e.arg[2] = reinjected;
+  Record(e);
+  ENOKI_WARN("enoki: supervised restart #%" PRIu64 " complete (restored=%d, %" PRIu64
+             " tasks re-injected, pause %" PRIu64 "ns); entering probation",
+             restart_attempt_, restored ? 1 : 0, reinjected, static_cast<uint64_t>(pause));
+  BeginProbation(supervisor_->config().probation, /*upgrade_txn=*/false);
+  KickAllCpus();
+}
+
+void EnokiRuntime::KickAllCpus() {
+  for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+    core_->KickCpu(cpu);
+  }
+}
+
 void EnokiRuntime::OnTaskStarved(Task* t, Duration runnable_ns) {
-  if (watchdog_ == nullptr || quarantined_) {
+  if (watchdog_ == nullptr || ModuleOffline()) {
     return;
   }
   if (watchdog_->OnStarvation(t->pid(), runnable_ns) != TripReason::kNone) {
@@ -230,12 +527,12 @@ void EnokiRuntime::OnTaskStarved(Task* t, Duration runnable_ns) {
 }
 
 void EnokiRuntime::DrainHints() {
-  for (size_t qid = 0; qid < user_queues_.size() && !quarantined_; ++qid) {
+  for (size_t qid = 0; qid < user_queues_.size() && !ModuleOffline(); ++qid) {
     HintQueue* q = user_queues_[qid].get();
     if (q == nullptr) {
       continue;
     }
-    while (!quarantined_) {
+    while (!ModuleOffline()) {
       auto hint = q->Pop();
       if (!hint.has_value()) {
         break;
@@ -255,11 +552,11 @@ void EnokiRuntime::DrainHints() {
 int EnokiRuntime::SelectTaskRq(Task* t, int prev_cpu, bool wake_sync, bool is_new) {
   const int home = prev_cpu >= 0 ? prev_cpu : 0;
   const int safe = t->affinity().Test(home) ? home : t->affinity().First();
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return safe;
   }
   DrainHints();
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return safe;
   }
   SetCurrentKthread(home);
@@ -291,7 +588,7 @@ int EnokiRuntime::SelectTaskRq(Task* t, int prev_cpu, bool wake_sync, bool is_ne
 
 void EnokiRuntime::EnqueueTask(int cpu, Task* t, bool wakeup) {
   queued_[cpu].insert(t->pid());
-  if (quarantined_) {
+  if (ModuleOffline()) {
     // The quarantined module sees nothing. Tasks that reach this class after
     // the fallback sweep (freshly created with its policy, or woken from a
     // long block) are handed to the fallback class at the next event
@@ -335,7 +632,7 @@ void EnokiRuntime::DequeueTask(int cpu, Task* t, DequeueReason reason) {
   }
   // Invalidate any token the module still holds for this task.
   ++t->token_generation_;
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   SetCurrentKthread(cpu);
@@ -373,11 +670,11 @@ void EnokiRuntime::DequeueTask(int cpu, Task* t, DequeueReason reason) {
 }
 
 Task* EnokiRuntime::PickNextTask(int cpu) {
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return nullptr;  // cede the CPU to lower classes (the fallback)
   }
   DrainHints();
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return nullptr;
   }
   SetCurrentKthread(cpu);
@@ -427,7 +724,7 @@ void EnokiRuntime::TaskPreempted(int cpu, Task* t) {
     running_[cpu] = 0;
   }
   queued_[cpu].insert(t->pid());
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   SetCurrentKthread(cpu);
@@ -447,7 +744,7 @@ void EnokiRuntime::TaskYielded(int cpu, Task* t) {
     running_[cpu] = 0;
   }
   queued_[cpu].insert(t->pid());
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   SetCurrentKthread(cpu);
@@ -463,13 +760,13 @@ void EnokiRuntime::TaskYielded(int cpu, Task* t) {
 }
 
 void EnokiRuntime::TaskTick(int cpu, Task* t) {
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   // enter_queue: hints are also drained on the tick path so they stay
   // timely even when no scheduling decisions are pending.
   DrainHints();
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   SetCurrentKthread(cpu);
@@ -485,7 +782,7 @@ void EnokiRuntime::TaskTick(int cpu, Task* t) {
 }
 
 bool EnokiRuntime::Balance(int cpu) {
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return false;
   }
   SetCurrentKthread(cpu);
@@ -563,7 +860,7 @@ bool EnokiRuntime::Balance(int cpu) {
 }
 
 void EnokiRuntime::TimerFired(int cpu) {
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   SetCurrentKthread(cpu);
@@ -576,7 +873,7 @@ void EnokiRuntime::TimerFired(int cpu) {
 }
 
 void EnokiRuntime::AffinityChanged(Task* t) {
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   Charge(t->cpu());
@@ -590,7 +887,7 @@ void EnokiRuntime::AffinityChanged(Task* t) {
 }
 
 void EnokiRuntime::PrioChanged(Task* t) {
-  if (quarantined_) {
+  if (ModuleOffline()) {
     return;
   }
   Charge(t->cpu());
@@ -659,14 +956,20 @@ std::optional<HintBlob> EnokiRuntime::PollRevHint(int queue_id) {
   return rev_queues_[queue_id]->Pop();
 }
 
-UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next) {
+UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next, const UpgradeOptions& opts) {
   UpgradeReport report;
   if (next == nullptr) {
     report.error = "null module";
     return report;
   }
-  if (quarantined_) {
+  if (ModuleOffline()) {
+    // Refused before any quiesce attempt: no pause is charged and the
+    // upgrade counter is untouched.
     report.error = "module quarantined by watchdog; upgrade refused";
+    return report;
+  }
+  if (in_probation_) {
+    report.error = "previous upgrade still in probation; upgrade refused";
     return report;
   }
   const SimCosts& costs = core_->costs();
@@ -675,6 +978,16 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next) {
   // case), the prepare/init calls, and the pointer swap.
   Duration pause = costs.upgrade_swap_ns + 2 * costs.enoki_call_ns;
   pause += static_cast<Duration>(core_->ncpus()) * costs.upgrade_percpu_drain_ns;
+
+  // Checkpoint the outgoing module *before* ReregisterPrepare disturbs its
+  // state: if the incoming module fails init or probation, this snapshot is
+  // what the transaction rolls back to.
+  Checkpoint ck;
+  const bool checkpointed = TakeCheckpoint(module_.get(), &ck);
+  if (checkpointed) {
+    report.checkpointed = true;
+    pause += costs.checkpoint_save_ns;
+  }
 
   TransferState state;
   try {
@@ -688,15 +1001,49 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next) {
   }
   next->Attach(this);
   EnokiSched* incoming = next.get();
+  std::unique_ptr<EnokiSched> outgoing = std::move(module_);
   module_ = std::move(next);
-  ++upgrades_;
   try {
     incoming->ReregisterInit(std::move(state));
   } catch (const std::exception& ex) {
-    // The swap already happened and the old module's state is gone: the new
-    // module is installed but broken. With a watchdog this is a containment
-    // event (quarantine + fallback, zero task loss); without one the caller
-    // only gets the error report.
+    if (checkpointed) {
+      // Transaction abort: reinstall the outgoing module and restore the
+      // accounting state we snapshotted before prepare. Queued tasks are
+      // re-injected as wakeups so nothing is lost; the broken incoming
+      // module dies here having never owned a task.
+      module_ = std::move(outgoing);
+      // Re-attach: prepare moved the per-CPU structures out; a failed
+      // restore must still leave sized state behind.
+      module_->Attach(this);
+      last_good_ = std::move(ck);
+      recovering_ = true;
+      const bool restored = RestoreFromCheckpoint(module_.get());
+      const uint64_t reinjected = ReinjectQueuedTasks();
+      recovering_ = false;
+      ++rollbacks_;
+      pause += static_cast<Duration>(reinjected) * costs.restore_pertask_ns;
+      for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+        core_->ChargeCpu(cpu, pause);
+      }
+      report.error =
+          std::string("new module rejected transferred state; rolled back: ") + ex.what();
+      report.pause_ns = pause;
+      report.rolled_back = true;
+      RecordEntry e;
+      e.type = RecordType::kUpgradeRollback;
+      e.arg[0] = restored ? 1 : 0;
+      e.arg[1] = reinjected;
+      Record(e);
+      ENOKI_WARN("enoki: upgrade aborted, rolled back to predecessor (restored=%d, %" PRIu64
+                 " tasks re-injected): %s",
+                 restored ? 1 : 0, reinjected, ex.what());
+      KickAllCpus();
+      return report;
+    }
+    // Legacy (non-checkpointable module) path: the swap already happened and
+    // the old module's state is gone. The new module is installed but
+    // broken. With a watchdog this is a containment event (quarantine +
+    // fallback, zero task loss); without one the caller only gets the error.
     report.error = std::string("new module rejected transferred state: ") + ex.what();
     report.pause_ns = pause;
     ++escaped_exceptions_;
@@ -710,12 +1057,30 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next) {
     return report;
   }
 
+  // Commit: only successful swaps count as upgrades.
+  ++upgrades_;
   // Every CPU's next scheduling operation is delayed by the blackout.
   for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
     core_->ChargeCpu(cpu, pause);
   }
   report.ok = true;
   report.pause_ns = pause;
+  {
+    RecordEntry e;
+    e.type = RecordType::kUpgrade;
+    e.arg[0] = upgrades_;
+    e.arg[1] = checkpointed ? 1 : 0;
+    Record(e);
+  }
+  if (checkpointed && watchdog_ != nullptr && opts.enable_probation && !fallback_done_) {
+    // Probation: the outgoing module stays parked as the rollback target
+    // until the incoming one survives a window under tightened budgets.
+    prev_module_ = std::move(outgoing);
+    last_good_ = std::move(ck);
+    BeginProbation(opts.probation.value_or(ProbationConfig{}), /*upgrade_txn=*/true);
+  } else if (checkpointed) {
+    last_good_ = std::move(ck);
+  }
   return report;
 }
 

@@ -22,17 +22,31 @@
 
 #include "src/base/time.h"
 #include "src/enoki/api.h"
+#include "src/enoki/checkpoint.h"
 #include "src/enoki/record.h"
+#include "src/fault/supervisor.h"
 #include "src/fault/watchdog.h"
 #include "src/simkernel/sched_class.h"
 #include "src/simkernel/sched_core.h"
 
 namespace enoki {
 
+class CheckpointSaboteur;
+
 struct UpgradeReport {
   bool ok = false;
   Duration pause_ns = 0;
   std::string error;
+  bool checkpointed = false;  // outgoing state captured before the swap
+  bool rolled_back = false;   // post-swap init failure undone from the checkpoint
+};
+
+// Options for a transactional upgrade. Probation requires an armed watchdog
+// and a checkpointable outgoing module; when either is missing the upgrade
+// commits immediately, as before.
+struct UpgradeOptions {
+  bool enable_probation = true;
+  std::optional<ProbationConfig> probation;  // nullopt = ProbationConfig{} defaults
 };
 
 class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
@@ -78,7 +92,13 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   std::optional<HintBlob> PollRevHint(int queue_id);
 
   // ---- Live upgrade (section 3.2) ----
-  UpgradeReport Upgrade(std::unique_ptr<EnokiSched> next);
+  // Transactional: the outgoing module's accounting state is checkpointed
+  // before the swap (when it supports SaveCheckpoint), a post-swap init
+  // failure rolls back to the checkpointed predecessor, and — with a
+  // watchdog armed — the incoming module runs a probation window under
+  // tightened budgets before the upgrade commits.
+  UpgradeReport Upgrade(std::unique_ptr<EnokiSched> next,
+                        const UpgradeOptions& opts = UpgradeOptions{});
 
   // ---- Fault containment (src/fault) ----
   // Arms the watchdog. `fallback_policy` names the registered class
@@ -88,14 +108,34 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   // module exceptions propagate and only token validation contains faults.
   void EnableWatchdog(const WatchdogConfig& config, int fallback_policy);
 
+  // Arms the supervisor above the watchdog: trips become supervised
+  // restart-from-checkpoint attempts (exponential backoff, budgeted per
+  // window) and only escalate to quarantine+CFS once the budget is spent.
+  // Requires EnableWatchdog first; `factory` builds fresh module instances.
+  void EnableSupervisor(const SupervisorConfig& config, ModuleFactory factory);
+
   // sysrq-style operator abort: trips the watchdog immediately with
   // TripReason::kManual (requires EnableWatchdog).
   void AbortModule(const std::string& reason);
+
+  // Installs a checkpoint-storage corruptor (tests/fault sweeps only):
+  // applied to every checkpoint after sealing, modeling bit-rot the
+  // checksum validation must catch.
+  void SetCheckpointSaboteur(CheckpointSaboteur* saboteur) { saboteur_ = saboteur; }
+
+  // Takes a fresh last-good checkpoint of the current module outside any
+  // upgrade (a periodic-checkpoint policy would call this). Returns false
+  // when the module does not support checkpointing.
+  bool CheckpointNow();
 
   bool quarantined() const { return quarantined_; }
   bool fallback_done() const { return fallback_done_; }
   const std::optional<CrashReport>& crash_report() const { return crash_report_; }
   Watchdog* watchdog() const { return watchdog_.get(); }
+  ModuleSupervisor* supervisor() const { return supervisor_.get(); }
+  bool in_probation() const { return in_probation_; }
+  bool recovery_pending() const { return rollback_pending_ || restart_pending_; }
+  const std::optional<Checkpoint>& last_good_checkpoint() const { return last_good_; }
 
   // ---- Record mode (section 3.4) ----
   void SetRecorder(Recorder* recorder) { recorder_ = recorder; }
@@ -108,6 +148,10 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   uint64_t balance_errors() const { return balance_errors_; }
   uint64_t upgrades() const { return upgrades_; }
   uint64_t escaped_exceptions() const { return escaped_exceptions_; }
+  uint64_t rollbacks() const { return rollbacks_; }
+  uint64_t module_restarts() const { return module_restarts_; }
+  uint64_t checkpoint_rejects() const { return checkpoint_rejects_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
   size_t QueuedCount(int cpu) const { return queued_[cpu].size(); }
 
  private:
@@ -130,12 +174,40 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   // rethrows (no watchdog) or reports it, possibly tripping.
   void HandleEscape(const char* site, const char* what);
   void FinishCall(const char* site);
-  // Quarantines the module, snapshots the CrashReport, and schedules the
-  // fallback sweep at the next clean event boundary. Idempotent.
+  // The recovery ladder's entry point: snapshots the CrashReport and walks
+  // the ladder — probation trip with an open upgrade transaction rolls back,
+  // a supervised module restarts (after backoff), anything else quarantines.
+  // The module-altering step is always deferred to a clean event boundary.
+  // Idempotent while a recovery is already pending.
   void TripWatchdog(TripReason reason, std::string detail);
   // Re-policies every task of this class onto fallback_policy_ with zero
   // task loss, waiting out any in-flight context switch first.
   void ExecuteFallback();
+
+  // ---- Recovery ladder internals ----
+  // True while the module must not be called: terminally quarantined, or a
+  // rollback/restart is waiting for its event boundary. Callbacks park
+  // tasks in the runtime's bookkeeping until the module is back.
+  bool ModuleOffline() const { return quarantined_ || rollback_pending_ || restart_pending_; }
+  // Snapshots `module` into `out` (sealed, saboteur applied). False when
+  // the module does not support checkpointing.
+  bool TakeCheckpoint(EnokiSched* module, Checkpoint* out);
+  // Restores `module` from last_good_. Returns true if state was loaded;
+  // false means the module starts fresh (no checkpoint, checksum mismatch —
+  // counted in checkpoint_rejects_ — or a load rejection).
+  bool RestoreFromCheckpoint(EnokiSched* module);
+  // Re-injects every queued task into the (restored) module as a wakeup
+  // with a freshly minted token; returns how many were injected.
+  uint64_t ReinjectQueuedTasks();
+  void BeginProbation(const ProbationConfig& cfg, bool upgrade_txn);
+  // Probation survived: destroy the predecessor, refresh the last-good
+  // checkpoint from the now-proven module.
+  void CommitProbation();
+  // Deferred handler for a probation trip with an open upgrade transaction.
+  void PerformRollback();
+  // Deferred handler for a supervised restart (runs after the backoff).
+  void PerformRestart();
+  void KickAllCpus();
 
   std::unique_ptr<EnokiSched> module_;
   Recorder* recorder_ = nullptr;
@@ -162,6 +234,16 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
       }
     }
     size_t size() const { return count_; }
+
+    // Visits members in ascending pid order (deterministic recovery sweeps).
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+      for (uint64_t pid = 0; pid < in_.size(); ++pid) {
+        if (in_[pid] != 0) {
+          fn(pid);
+        }
+      }
+    }
 
    private:
     std::vector<uint8_t> in_;
@@ -192,6 +274,36 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   // callback; folded into that call's watchdog-visible latency.
   Duration callback_busy_ns_ = 0;
   uint64_t escaped_exceptions_ = 0;
+
+  // ---- Recovery ladder state ----
+  std::unique_ptr<ModuleSupervisor> supervisor_;
+  CheckpointSaboteur* saboteur_ = nullptr;
+  // Always-on crash-forensics ring (kept even when recorder_ == nullptr).
+  FlightRecorder flight_;
+
+  // The predecessor held alive while an upgrade is on probation (the open
+  // transaction), and the checkpoint recovery restores from.
+  std::unique_ptr<EnokiSched> prev_module_;
+  std::optional<Checkpoint> last_good_;
+  uint64_t checkpoint_seq_ = 0;
+
+  bool in_probation_ = false;
+  bool upgrade_txn_ = false;      // current probation guards an upgrade (rollback target exists)
+  bool rollback_pending_ = false;  // trip decided: rollback at the next event boundary
+  bool restart_pending_ = false;   // trip decided: restart after the supervisor's backoff
+  // Pending restart parameters (from the supervisor's decision).
+  uint64_t restart_attempt_ = 0;
+  uint64_t probation_calls_seen_ = 0;
+  // Bumped whenever probation/recovery state changes; deferred timers
+  // capture the epoch and no-op when stale.
+  uint64_t recovery_epoch_ = 0;
+  // Suppresses watchdog trips while the runtime itself drives the module
+  // (re-injection during rollback/restart).
+  bool recovering_ = false;
+
+  uint64_t rollbacks_ = 0;
+  uint64_t module_restarts_ = 0;
+  uint64_t checkpoint_rejects_ = 0;
 };
 
 }  // namespace enoki

@@ -41,6 +41,14 @@ void FaultInjector::MaybeHintFlood() {
   }
 }
 
+void FaultInjector::MaybeMisbehave(const char* site) {
+  if (misbehave_left_ > 0) {
+    --misbehave_left_;
+    ++counts_.probation_misbehaviors;
+    throw InjectedFault(std::string("probation: ") + site);
+  }
+}
+
 void FaultInjector::ReinjectStashed(uint64_t pid) {
   auto it = stashed_.find(pid);
   if (it == stashed_.end()) {
@@ -57,6 +65,7 @@ void FaultInjector::ReinjectStashed(uint64_t pid) {
 }
 
 int FaultInjector::SelectTaskRq(const TaskMessage& msg) {
+  MaybeMisbehave("select_task_rq");
   MaybeThrow("select_task_rq");
   MaybeBusySpin(msg.prev_cpu);
   return inner_->SelectTaskRq(msg);
@@ -64,6 +73,7 @@ int FaultInjector::SelectTaskRq(const TaskMessage& msg) {
 
 std::optional<Schedulable> FaultInjector::PickNextTask(int cpu,
                                                        std::optional<Schedulable> curr) {
+  MaybeMisbehave("pick_next_task");
   MaybeThrow("pick_next_task");
   MaybeBusySpin(cpu);
   // Double return, phase 2: hand back a proof that was already consumed.
@@ -167,6 +177,7 @@ void FaultInjector::TaskPrioChanged(uint64_t pid, int nice) {
 }
 
 void FaultInjector::TaskTick(int cpu, uint64_t pid, Duration runtime) {
+  MaybeMisbehave("task_tick");
   MaybeThrow("task_tick");
   MaybeBusySpin(cpu);
   MaybeHintFlood();
@@ -207,10 +218,25 @@ Schedulable FaultInjector::MigrateTaskRq(const MigrateMessage& msg, Schedulable 
   return inner_->MigrateTaskRq(msg, std::move(sched));
 }
 
-TransferState FaultInjector::ReregisterPrepare() { return inner_->ReregisterPrepare(); }
+TransferState FaultInjector::ReregisterPrepare() {
+  if (Chance(plan_.prepare_throw_rate)) {
+    ++counts_.prepare_throws;
+    throw InjectedFault("reregister_prepare");
+  }
+  return inner_->ReregisterPrepare();
+}
 
 void FaultInjector::ReregisterInit(TransferState state) {
+  if (Chance(plan_.init_throw_rate)) {
+    ++counts_.init_throws;
+    throw InjectedFault("reregister_init");
+  }
   inner_->ReregisterInit(std::move(state));
+  // Survived the swap: optionally arm early-callback misbehavior so the
+  // fault lands inside the new module's probation window.
+  if (Chance(plan_.probation_misbehave_rate)) {
+    misbehave_left_ = plan_.probation_misbehave_count;
+  }
 }
 
 }  // namespace enoki

@@ -37,6 +37,7 @@
 #include "src/base/rng.h"
 #include "src/base/time.h"
 #include "src/enoki/api.h"
+#include "src/enoki/checkpoint.h"
 
 namespace enoki {
 
@@ -61,6 +62,14 @@ struct FaultPlan {
   double hint_flood_rate = 0.0;       // burst-write the reverse hint queue
   int hint_flood_burst = 128;
 
+  // Upgrade-boundary faults (the recovery ladder's test surface).
+  double prepare_throw_rate = 0.0;  // refuse to quiesce in ReregisterPrepare
+  double init_throw_rate = 0.0;     // reject transferred state in ReregisterInit
+  // After surviving init, throw from the first `probation_misbehave_count`
+  // hot callbacks — misbehavior crafted to land inside a probation window.
+  double probation_misbehave_rate = 0.0;
+  int probation_misbehave_count = 3;
+
   // The full fault menu at modest rates: every fault kind is exercised, no
   // single kind dominates. Used by the seeded sweep test and the demo.
   static FaultPlan FullMenu(uint64_t seed) {
@@ -75,6 +84,46 @@ struct FaultPlan {
     plan.hint_flood_rate = 0.05;
     return plan;
   }
+
+  // Faults concentrated at the upgrade boundary, for modules installed via
+  // Upgrade() in the recovery-ladder sweeps.
+  static FaultPlan UpgradeMenu(uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.prepare_throw_rate = 0.2;
+    plan.init_throw_rate = 0.3;
+    plan.probation_misbehave_rate = 0.4;
+    return plan;
+  }
+};
+
+// Simulated checkpoint-storage corruption: with probability `corrupt_rate`,
+// flips one byte of an already *sealed* Checkpoint (bit-rot between save and
+// restore), so the runtime's checksum validation must catch it before any
+// deserialization happens. Seeded independently of the in-band fault stream
+// so arming it does not perturb an injector's fault sequence.
+class CheckpointSaboteur {
+ public:
+  CheckpointSaboteur(uint64_t seed, double corrupt_rate)
+      : rng_(seed ^ 0x9e3779b97f4a7c15ull), rate_(corrupt_rate) {}
+
+  // Returns true if the checkpoint was corrupted.
+  bool MaybeCorrupt(Checkpoint* ck) {
+    if (ck->bytes.empty() || rate_ <= 0.0 || !rng_.NextBernoulli(rate_)) {
+      return false;
+    }
+    const size_t idx = static_cast<size_t>(rng_.NextBelow(ck->bytes.size()));
+    ck->bytes[idx] ^= 0xFF;
+    ++corruptions_;
+    return true;
+  }
+
+  uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  Rng rng_;
+  const double rate_;
+  uint64_t corruptions_ = 0;
 };
 
 class FaultInjector : public EnokiSched {
@@ -88,10 +137,13 @@ class FaultInjector : public EnokiSched {
     uint64_t busy_spins = 0;
     uint64_t hint_floods = 0;
     uint64_t reinjected = 0;  // real tokens recovered via pnt_err
+    uint64_t prepare_throws = 0;
+    uint64_t init_throws = 0;
+    uint64_t probation_misbehaviors = 0;
 
     uint64_t total() const {
       return dropped_enqueues + stale_tokens + wrong_cpu_tokens + double_returns + throws +
-             busy_spins + hint_floods;
+             busy_spins + hint_floods + prepare_throws + init_throws + probation_misbehaviors;
     }
   };
 
@@ -134,11 +186,23 @@ class FaultInjector : public EnokiSched {
   TransferState ReregisterPrepare() override;
   void ReregisterInit(TransferState state) override;
 
+  // Checkpointing passes straight through to the inner module: the injector
+  // holds no accounting state of its own worth snapshotting, and recovery
+  // must be able to restore the real scheduler behind any decorator.
+  bool SaveCheckpoint(ByteWriter* out) const override { return inner_->SaveCheckpoint(out); }
+  uint32_t CheckpointVersion() const override { return inner_->CheckpointVersion(); }
+  bool LoadCheckpoint(uint32_t version, ByteReader* in) override {
+    return inner_->LoadCheckpoint(version, in);
+  }
+
  private:
   bool Chance(double rate) { return rate > 0.0 && rng_.NextBernoulli(rate); }
   void MaybeThrow(const char* site);
   void MaybeBusySpin(int cpu);
   void MaybeHintFlood();
+  // Probation-window misbehavior armed by a surviving ReregisterInit: the
+  // next few hot callbacks throw.
+  void MaybeMisbehave(const char* site);
   // A wakeup message reconstructed from a stashed token, used to hand the
   // real proof back to the inner module after a forged one bounced.
   void ReinjectStashed(uint64_t pid);
@@ -153,6 +217,8 @@ class FaultInjector : public EnokiSched {
   // Cloned proofs waiting to be returned a second time (double-return).
   std::vector<std::pair<uint64_t, Schedulable>> replay_tokens_;
   int rev_queue_ = -1;
+  // Hot callbacks left to sabotage after an armed ReregisterInit.
+  int misbehave_left_ = 0;
 };
 
 }  // namespace enoki

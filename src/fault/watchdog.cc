@@ -36,6 +36,7 @@ CrashReport Watchdog::BuildReport(TripReason reason, std::string detail, Time no
   report.pick_errors = pick_errors_;
   report.balance_errors = balance_errors_;
   report.starved_pid = reason == TripReason::kStarvation ? starved_pid_ : 0;
+  report.during_probation = in_probation_;
   report.callback_stats = callback_stats_;
   report.callback_p50_ns = callback_latency_.Percentile(50.0);
   report.callback_p99_ns = callback_latency_.Percentile(99.0);
@@ -47,10 +48,12 @@ std::string CrashReport::ToString() const {
   std::string out;
   std::snprintf(buf, sizeof(buf),
                 "CrashReport{reason=%s detail=\"%s\" tripped_at=%" PRIu64
-                "ns module_calls=%" PRIu64 " pick_errors=%" PRIu64 " balance_errors=%" PRIu64
-                " escaped_exceptions=%" PRIu64 " starved_pid=%" PRIu64 "\n",
+                "ns probation=%d module_calls=%" PRIu64 " pick_errors=%" PRIu64
+                " balance_errors=%" PRIu64 " escaped_exceptions=%" PRIu64 " starved_pid=%" PRIu64
+                "\n",
                 TripReasonName(reason), detail.c_str(), static_cast<uint64_t>(tripped_at),
-                module_calls, pick_errors, balance_errors, escaped_exceptions, starved_pid);
+                during_probation ? 1 : 0, module_calls, pick_errors, balance_errors,
+                escaped_exceptions, starved_pid);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  callbacks: n=%" PRIu64 " mean=%.1fns max=%.0fns p50=%" PRIu64 "ns p99=%" PRIu64

@@ -65,6 +65,27 @@ struct WatchdogConfig {
   size_t crash_ring_entries = 32;
 };
 
+// Tightened watchdog budgets applied while a freshly installed module (a
+// just-upgraded or just-restarted one) proves itself. Violation counters are
+// measured from the start of the window, not from module load, so an old
+// module's accumulated errors cannot condemn its successor. Both limits may
+// be active at once; probation ends at whichever is reached first.
+struct ProbationConfig {
+  // Simulated-time length of the window. 0 = calls-only probation.
+  Duration window_ns = Milliseconds(5);
+
+  // Watchdog-observed callbacks the module must survive. 0 = time-only.
+  uint64_t window_calls = 512;
+
+  // Callback-budget multiplier during probation (< 1 tightens).
+  double budget_scale = 0.5;
+
+  // Violation thresholds within the window (counted from its start).
+  uint64_t max_escaped_exceptions = 1;
+  uint64_t max_pick_errors = 4;
+  uint64_t max_balance_errors = 16;
+};
+
 // Everything known about a containment event: why the watchdog tripped, the
 // module's counters at that moment, callback-latency aggregates, the cost of
 // the fallback, and the last calls into the module (from the Recorder ring).
@@ -72,6 +93,7 @@ struct CrashReport {
   TripReason reason = TripReason::kNone;
   std::string detail;
   Time tripped_at = 0;
+  bool during_probation = false;  // the module tripped inside its probation window
 
   // Module counters at trip time.
   uint64_t module_calls = 0;
@@ -110,6 +132,11 @@ class Watchdog {
   // An exception escaped a module callback.
   TripReason OnEscapedException() {
     ++escaped_exceptions_;
+    if (in_probation_) {
+      return escaped_exceptions_ - probation_base_escaped_ >= probation_.max_escaped_exceptions
+                 ? TripReason::kEscapedException
+                 : TripReason::kNone;
+    }
     return escaped_exceptions_ >= config_.max_escaped_exceptions
                ? TripReason::kEscapedException
                : TripReason::kNone;
@@ -119,18 +146,28 @@ class Watchdog {
   TripReason OnCallbackLatency(Duration ns) {
     callback_stats_.Record(static_cast<double>(ns));
     callback_latency_.Record(ns);
-    return ns > config_.callback_budget_ns ? TripReason::kCallbackBudget : TripReason::kNone;
+    return ns > effective_callback_budget() ? TripReason::kCallbackBudget : TripReason::kNone;
   }
 
   // pick_next_task returned a token that failed validation.
   TripReason OnPickError() {
     ++pick_errors_;
+    if (in_probation_) {
+      return pick_errors_ - probation_base_pick_ >= probation_.max_pick_errors
+                 ? TripReason::kPickErrors
+                 : TripReason::kNone;
+    }
     return pick_errors_ >= config_.max_pick_errors ? TripReason::kPickErrors : TripReason::kNone;
   }
 
   // balance offered a task that could not be moved.
   TripReason OnBalanceError() {
     ++balance_errors_;
+    if (in_probation_) {
+      return balance_errors_ - probation_base_balance_ >= probation_.max_balance_errors
+                 ? TripReason::kBalanceErrors
+                 : TripReason::kNone;
+    }
     return balance_errors_ >= config_.max_balance_errors ? TripReason::kBalanceErrors
                                                          : TripReason::kNone;
   }
@@ -146,6 +183,39 @@ class Watchdog {
   uint64_t pick_errors() const { return pick_errors_; }
   uint64_t balance_errors() const { return balance_errors_; }
 
+  // ---- Probation (recovery ladder) ----
+  // Enters a probation window with tightened budgets. Violation counters are
+  // baselined at the current values so only new misbehavior counts.
+  void BeginProbation(const ProbationConfig& cfg) {
+    probation_ = cfg;
+    in_probation_ = true;
+    probation_base_escaped_ = escaped_exceptions_;
+    probation_base_pick_ = pick_errors_;
+    probation_base_balance_ = balance_errors_;
+  }
+  void EndProbation() { in_probation_ = false; }
+  bool in_probation() const { return in_probation_; }
+  const ProbationConfig& probation() const { return probation_; }
+
+  Duration effective_callback_budget() const {
+    if (!in_probation_) {
+      return config_.callback_budget_ns;
+    }
+    return static_cast<Duration>(static_cast<double>(config_.callback_budget_ns) *
+                                 probation_.budget_scale);
+  }
+
+  // Clears the violation counters after a supervised restart: the fresh
+  // module instance must not inherit its predecessor's strikes. Latency
+  // aggregates are kept — they describe the slot's whole history.
+  void ResetCounters() {
+    escaped_exceptions_ = 0;
+    pick_errors_ = 0;
+    balance_errors_ = 0;
+    starved_pid_ = 0;
+    starved_for_ = 0;
+  }
+
   // Snapshots the watchdog's aggregates into a report for the given trip.
   CrashReport BuildReport(TripReason reason, std::string detail, Time now) const;
 
@@ -158,6 +228,12 @@ class Watchdog {
   Duration starved_for_ = 0;
   StatAccumulator callback_stats_;
   LatencyRecorder callback_latency_;
+
+  bool in_probation_ = false;
+  ProbationConfig probation_;
+  uint64_t probation_base_escaped_ = 0;
+  uint64_t probation_base_pick_ = 0;
+  uint64_t probation_base_balance_ = 0;
 };
 
 }  // namespace enoki

@@ -269,6 +269,105 @@ void WfqSched::ReregisterInit(TransferState state) {
   min_vruntime_ = std::move(t->min_vruntime);
 }
 
+bool WfqSched::SaveCheckpoint(ByteWriter* out) const {
+  SpinLockGuard g(lock_);
+  out->U64(min_vruntime_.size());
+  for (uint64_t v : min_vruntime_) {
+    out->U64(v);
+  }
+  uint64_t nlive = 0;
+  for (const Entity& e : entities_) {
+    if (e.live) {
+      ++nlive;
+    }
+  }
+  out->U64(nlive);
+  for (uint64_t pid = 0; pid < entities_.size(); ++pid) {
+    const Entity& e = entities_[pid];
+    if (!e.live) {
+      continue;
+    }
+    out->U64(pid);
+    out->U64(e.vruntime);
+    out->U64(e.weight);
+    out->U64(static_cast<uint64_t>(e.last_runtime));
+    out->U64(static_cast<uint64_t>(e.slice_start_runtime));
+    out->U64(static_cast<uint64_t>(e.cpu));
+  }
+  return true;
+}
+
+bool WfqSched::LoadCheckpoint(uint32_t version, ByteReader* in) {
+  if (version != 1 && version != 2) {
+    return false;
+  }
+  SpinLockGuard g(lock_);
+  // Queue membership and tokens are deliberately absent from checkpoints:
+  // the runtime re-injects queued tasks as fresh wakeups after the restore,
+  // so every restored entity starts parked (not queued, not running).
+  entities_.clear();
+  tokens_.clear();
+  // A rollback target had its vectors moved out by ReregisterPrepare;
+  // rebuild the per-CPU structures before restoring into them.
+  if (queues_.empty() && env_ != nullptr) {
+    queues_.resize(static_cast<size_t>(env_->NumCpus()));
+    min_vruntime_.assign(static_cast<size_t>(env_->NumCpus()), 0);
+  }
+  for (auto& q : queues_) {
+    q.clear();
+  }
+  uint64_t ncpus = 0;
+  if (!in->U64(&ncpus) || ncpus == 0 || ncpus > 4096) {
+    return false;
+  }
+  // A checkpoint from a differently-sized machine renormalizes onto this
+  // one: cursors beyond our CPU count are dropped, missing ones start at 0.
+  std::fill(min_vruntime_.begin(), min_vruntime_.end(), 0);
+  for (uint64_t cpu = 0; cpu < ncpus; ++cpu) {
+    uint64_t v = 0;
+    if (!in->U64(&v)) {
+      return false;
+    }
+    if (cpu < min_vruntime_.size()) {
+      min_vruntime_[cpu] = v;
+    }
+  }
+  uint64_t nlive = 0;
+  if (!in->U64(&nlive)) {
+    return false;
+  }
+  for (uint64_t i = 0; i < nlive; ++i) {
+    uint64_t pid = 0, vruntime = 0, weight = 0, last_runtime = 0;
+    uint64_t slice_start = 0, cpu = 0;
+    if (!in->U64(&pid) || !in->U64(&vruntime) || !in->U64(&weight) || !in->U64(&last_runtime)) {
+      return false;
+    }
+    if (version >= 2 && !in->U64(&slice_start)) {
+      return false;
+    }
+    if (!in->U64(&cpu)) {
+      return false;
+    }
+    // Sanity bounds: pids are dense and assigned from 1; reject a payload
+    // that would force an absurd resize even if its checksum happened to
+    // pass (e.g. a version-confused writer).
+    if (pid == 0 || pid > (1u << 24) || weight == 0) {
+      return false;
+    }
+    Entity& e = EntSlot(pid);
+    e = Entity{};
+    e.live = true;
+    e.vruntime = vruntime;
+    e.weight = weight;
+    e.last_runtime = static_cast<Duration>(last_runtime);
+    // v1 predates slice_start_runtime; seed it from the runtime watermark.
+    e.slice_start_runtime = version >= 2 ? static_cast<Duration>(slice_start)
+                                         : static_cast<Duration>(last_runtime);
+    e.cpu = cpu < queues_.size() ? static_cast<int>(cpu) : 0;
+  }
+  return !in->overrun();
+}
+
 size_t WfqSched::QueueDepth(int cpu) {
   SpinLockGuard g(lock_);
   return queues_[cpu].size();
@@ -278,6 +377,12 @@ uint64_t WfqSched::VruntimeOf(uint64_t pid) {
   SpinLockGuard g(lock_);
   Entity* e = FindEnt(pid);
   return e == nullptr ? 0 : e->vruntime;
+}
+
+uint64_t WfqSched::WeightOf(uint64_t pid) {
+  SpinLockGuard g(lock_);
+  Entity* e = FindEnt(pid);
+  return e == nullptr ? 0 : e->weight;
 }
 
 }  // namespace enoki

@@ -85,9 +85,18 @@ class WfqSched : public EnokiSched {
   TransferState ReregisterPrepare() override;
   void ReregisterInit(TransferState state) override;
 
+  // Checkpoint format v2: per-CPU min_vruntime cursors plus per-entity
+  // accounting (vruntime, weight, runtime watermarks, home cpu). v1 (an
+  // earlier format without slice_start_runtime) is still accepted by
+  // LoadCheckpoint, demonstrating cross-version restores.
+  bool SaveCheckpoint(ByteWriter* out) const override;
+  uint32_t CheckpointVersion() const override { return 2; }
+  bool LoadCheckpoint(uint32_t version, ByteReader* in) override;
+
   // Introspection for tests.
   size_t QueueDepth(int cpu);
   uint64_t VruntimeOf(uint64_t pid);
+  uint64_t WeightOf(uint64_t pid);
 
  private:
   // Folds new runtime into vruntime. Caller holds lock_.
@@ -118,7 +127,8 @@ class WfqSched : public EnokiSched {
   }
 
   const int policy_id_;
-  SpinLock lock_;
+  // mutable: SaveCheckpoint is const but must still serialize readers.
+  mutable SpinLock lock_;
   std::vector<Entity> entities_;                    // indexed by pid
   std::vector<std::optional<Schedulable>> tokens_;  // indexed by pid
   std::vector<FlatMultimap<uint64_t, uint64_t>> queues_;

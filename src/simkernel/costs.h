@@ -76,6 +76,18 @@ struct SimCosts {
   // task onto the fallback class (setscheduler path minus syscall entry).
   Duration fallback_pertask_ns = 150;
 
+  // Transactional upgrade: serializing a quiesced module's accounting state
+  // into a checkpoint (memcpy-dominated; flat approximation).
+  Duration checkpoint_save_ns = 600;
+
+  // Recovery: per-task cost of re-minting a token and re-injecting a parked
+  // task into a restored module after a rollback or supervised restart.
+  Duration restore_pertask_ns = 180;
+
+  // Supervised restart: constructing and attaching a fresh module instance
+  // (module load minus the original registration syscall).
+  Duration module_restart_ns = 2'000;
+
   // Arming a per-CPU hrtimer from an Enoki scheduler.
   Duration timer_arm_ns = 350;
 

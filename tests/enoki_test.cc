@@ -400,11 +400,42 @@ TEST(Upgrade, PrepareFailureAbortsBeforeSwap) {
   EXPECT_TRUE(core.RunUntilAllExit(Seconds(5)));
 }
 
-TEST(Upgrade, InitFailureAfterSwapReportsError) {
-  // Without a watchdog the runtime can only report: the swap already
-  // happened, the old state is gone, and the broken new module is installed.
+// An outgoing module that predates checkpoint support (SaveCheckpoint
+// declines), forcing the legacy non-transactional failure path.
+class UncheckpointableSched : public WfqSched {
+ public:
+  using WfqSched::WfqSched;
+  bool SaveCheckpoint(ByteWriter* out) const override { return false; }
+};
+
+TEST(Upgrade, InitFailureRollsBackToCheckpointedPredecessor) {
+  // The outgoing WFQ module supports checkpoints, so a failed init is a
+  // transaction abort: the predecessor is reinstalled with its state
+  // restored, and the broken incoming module never owns a task.
   SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
   EnokiRuntime runtime(std::make_unique<WfqSched>(0));
+  CfsClass cfs;
+  core.RegisterClass(&runtime);
+  core.RegisterClass(&cfs);
+  EnokiSched* old_module = runtime.module();
+  auto report = runtime.Upgrade(std::make_unique<RejectsStateSched>(0));
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.checkpointed);
+  EXPECT_TRUE(report.rolled_back);
+  EXPECT_NE(report.error.find("rolled back"), std::string::npos);
+  EXPECT_GT(report.pause_ns, 0);
+  EXPECT_EQ(runtime.module(), old_module);
+  EXPECT_EQ(runtime.rollbacks(), 1u);
+  // A rolled-back transaction is not an upgrade.
+  EXPECT_EQ(runtime.upgrades(), 0u);
+}
+
+TEST(Upgrade, InitFailureWithoutCheckpointReportsError) {
+  // Legacy path: the outgoing module cannot checkpoint, so the swap cannot
+  // be undone. Without a watchdog the runtime can only report: the old
+  // state is gone and the broken new module stays installed.
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  EnokiRuntime runtime(std::make_unique<UncheckpointableSched>(0));
   CfsClass cfs;
   core.RegisterClass(&runtime);
   core.RegisterClass(&cfs);
@@ -412,10 +443,29 @@ TEST(Upgrade, InitFailureAfterSwapReportsError) {
   EnokiSched* incoming = next.get();
   auto report = runtime.Upgrade(std::move(next));
   EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.checkpointed);
+  EXPECT_FALSE(report.rolled_back);
   EXPECT_NE(report.error.find("rejected transferred state"), std::string::npos);
   EXPECT_GT(report.pause_ns, 0);
   EXPECT_EQ(runtime.module(), incoming);
-  EXPECT_EQ(runtime.upgrades(), 1u);
+  // Failed swaps no longer count as upgrades.
+  EXPECT_EQ(runtime.upgrades(), 0u);
+}
+
+TEST(Upgrade, PrepareFailureChargesNoPauseAndCountsNoUpgrade) {
+  // Regression: a pre-swap abort must not charge any blackout to the CPUs
+  // and must leave the upgrade counter untouched.
+  SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
+  EnokiRuntime runtime(std::make_unique<RefusesQuiesceSched>(0));
+  CfsClass cfs;
+  core.RegisterClass(&runtime);
+  core.RegisterClass(&cfs);
+  auto report = runtime.Upgrade(std::make_unique<WfqSched>(0));
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.pause_ns, 0);
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_EQ(runtime.upgrades(), 0u);
+  EXPECT_EQ(runtime.rollbacks(), 0u);
 }
 
 // ---- Record & replay ----

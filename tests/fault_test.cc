@@ -243,23 +243,59 @@ TEST(Fallback, CrashReportCapturesRecorderTail) {
   EXPECT_NE(report.ToString().find("pick-errors"), std::string::npos);
 }
 
-TEST(Fallback, FailedUpgradeTripsWatchdogAndRescuesTasks) {
-  // The swap succeeds but the incoming module rejects the transferred state:
-  // with a watchdog armed this is a containment event, not a report-only
-  // failure — the broken module is quarantined and its tasks survive.
-  class RejectsStateSched : public WfqSched {
-   public:
-    using WfqSched::WfqSched;
-    void ReregisterInit(TransferState state) override {
-      throw std::runtime_error("bad state");
-    }
-  };
+namespace {
+
+// A new module that rejects whatever state it is handed: init throws.
+class RejectsStateSched : public WfqSched {
+ public:
+  using WfqSched::WfqSched;
+  void ReregisterInit(TransferState state) override { throw std::runtime_error("bad state"); }
+};
+
+// An outgoing module without checkpoint support: failed swaps cannot be
+// rolled back and must fall through to the quarantine ladder rung.
+class UncheckpointableWfq : public WfqSched {
+ public:
+  using WfqSched::WfqSched;
+  bool SaveCheckpoint(ByteWriter* out) const override { return false; }
+};
+
+}  // namespace
+
+TEST(Fallback, FailedUpgradeRollsBackAndKeepsModuleOnline) {
+  // The swap succeeds but the incoming module rejects the transferred
+  // state. The outgoing WFQ module checkpoints, so the failure is a
+  // transaction abort: the predecessor is reinstalled, its tasks are
+  // re-injected, and the watchdog never trips.
   FaultStack s = MakeFaultStack(std::make_unique<WfqSched>(0));
   s.runtime->EnableWatchdog(WatchdogConfig{}, s.cfs_policy);
   EnokiRuntime* rt = s.runtime.get();
   s.core->loop().ScheduleAfter(Milliseconds(1), [rt] {
     auto report = rt->Upgrade(std::make_unique<RejectsStateSched>(0));
     EXPECT_FALSE(report.ok);
+    EXPECT_TRUE(report.rolled_back);
+  });
+  PipeBenchConfig cfg;
+  cfg.messages = 2000;
+  auto r = RunPipeBench(*s.core, s.enoki_policy, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(rt->quarantined());
+  EXPECT_FALSE(rt->fallback_done());
+  EXPECT_EQ(rt->rollbacks(), 1u);
+  EXPECT_EQ(rt->upgrades(), 0u);
+}
+
+TEST(Fallback, FailedUpgradeWithoutCheckpointTripsWatchdogAndRescuesTasks) {
+  // Legacy path: no checkpoint means no rollback target, so a post-swap
+  // init failure is a containment event — the broken module is quarantined
+  // and its tasks survive on CFS.
+  FaultStack s = MakeFaultStack(std::make_unique<UncheckpointableWfq>(0));
+  s.runtime->EnableWatchdog(WatchdogConfig{}, s.cfs_policy);
+  EnokiRuntime* rt = s.runtime.get();
+  s.core->loop().ScheduleAfter(Milliseconds(1), [rt] {
+    auto report = rt->Upgrade(std::make_unique<RejectsStateSched>(0));
+    EXPECT_FALSE(report.ok);
+    EXPECT_FALSE(report.rolled_back);
   });
   PipeBenchConfig cfg;
   cfg.messages = 2000;
@@ -269,6 +305,24 @@ TEST(Fallback, FailedUpgradeTripsWatchdogAndRescuesTasks) {
   ASSERT_TRUE(rt->crash_report().has_value());
   EXPECT_EQ(rt->crash_report()->reason, TripReason::kUpgradeFailure);
   EXPECT_EQ(rt->crash_report()->tasks_repolicied, 2u);
+}
+
+TEST(Fallback, QuarantinedUpgradeRefusalChargesNoPause) {
+  // Regression: the refusal happens before any quiesce attempt, so no
+  // blackout may be charged and the upgrade counter must stay untouched.
+  FaultStack s = MakeFaultStack(std::make_unique<WfqSched>(0));
+  s.runtime->EnableWatchdog(WatchdogConfig{}, s.cfs_policy);
+  s.core->Start();
+  s.core->RunFor(Milliseconds(1));
+  s.runtime->AbortModule("operator abort");
+  s.core->RunFor(Milliseconds(1));
+  ASSERT_TRUE(s.runtime->quarantined());
+  auto report = s.runtime->Upgrade(std::make_unique<WfqSched>(0));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("quarantined"), std::string::npos);
+  EXPECT_EQ(report.pause_ns, 0);
+  EXPECT_FALSE(report.checkpointed);
+  EXPECT_EQ(s.runtime->upgrades(), 0u);
 }
 
 // ---- The seeded fault sweep (acceptance criterion) ----
