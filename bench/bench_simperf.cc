@@ -15,12 +15,16 @@
 //   --check-against=<path> compare against a baseline BENCH_simperf.json and
 //                          exit nonzero on regression
 //   --max-regress=<frac>   regression tolerance for the check (default 0.25)
+//   --reps=<n>             repetitions per config (default 3); wall-clock
+//                          metrics keep the fastest rep, event counts must
+//                          be identical across reps
 //
 // The workload mix is chosen to stress the three event-queue behaviours that
 // matter: schbench (dense wake/block churn), pipe (long same-pattern chains
 // through the Enoki runtime), dispersive (timer-heavy Shinjuku with frequent
 // hrtimer cancellation).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -34,10 +38,15 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/sched/ext/central.h"
+#include "src/sched/ext/layered.h"
+#include "src/sched/ext/pair.h"
+#include "src/sched/ext/rusty.h"
 #include "src/sched/shinjuku.h"
 #include "src/sched/wfq.h"
 #include "src/workloads/dispersive.h"
 #include "src/workloads/pipe.h"
+#include "src/workloads/portfolio.h"
 #include "src/workloads/schbench.h"
 
 // ---- Global allocation counter -------------------------------------------
@@ -92,21 +101,43 @@ struct PerfResult {
   }
 };
 
+// Repetitions per config: wall-clock metrics keep the best (fastest) rep so
+// transient host load cannot fake a hot-path regression, which is what lets
+// the CI gate be a hard per-metric check. Event counts must be identical
+// across reps — a free determinism assertion on every config.
+int g_reps = 3;
+
 // Runs `body(core)` against the stack, measuring the event loop around it.
 template <typename MakeStackFn, typename BodyFn>
 PerfResult Measure(const std::string& name, uint64_t seed, MakeStackFn make_stack,
                    BodyFn body) {
-  Stack s = make_stack();
-  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
-  const auto wall_start = std::chrono::steady_clock::now();
-  body(s);
-  const auto wall_end = std::chrono::steady_clock::now();
   PerfResult r;
   r.name = name;
   r.seed = seed;
-  r.events = s.core->loop().events_executed();
-  r.wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
-  r.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  for (int rep = 0; rep < std::max(1, g_reps); ++rep) {
+    Stack s = make_stack();
+    const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto wall_start = std::chrono::steady_clock::now();
+    body(s);
+    const auto wall_end = std::chrono::steady_clock::now();
+    const uint64_t events = s.core->loop().events_executed();
+    const uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    const double wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
+    if (rep == 0) {
+      r.events = events;
+      r.allocs = allocs;
+      r.wall_sec = wall_sec;
+      continue;
+    }
+    if (events != r.events) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION %s: rep %d executed %llu events, rep 0 %llu\n",
+                   name.c_str(), rep, static_cast<unsigned long long>(events),
+                   static_cast<unsigned long long>(r.events));
+      std::exit(2);
+    }
+    r.wall_sec = std::min(r.wall_sec, wall_sec);
+    r.allocs = std::min(r.allocs, allocs);
+  }
   return r;
 }
 
@@ -160,6 +191,59 @@ std::vector<PerfResult> RunAll(bool quick) {
         cfg.cfs_policy = s.cfs_policy;
         cfg.seed = dispersive_seed;
         (void)RunDispersive(*s.core, cfg);
+      }));
+
+  // ---- sched_ext policy portfolio: each policy on its paired workload ----
+
+  // central: tickless tenant mix, dispatch pulses from one CPU.
+  out.push_back(Measure(
+      "central_mix", 1, [] { return MakeEnokiStack(std::make_unique<CentralSched>(0)); },
+      [quick](Stack& s) {
+        TenantMixConfig cfg;
+        cfg.rounds = quick ? 120 : 1'000;
+        (void)RunTenantMix(*s.core, s.policy, cfg);
+      }));
+
+  // pair: sibling co-scheduling with two adversarial cookie populations,
+  // cookies delivered through the module hint queue.
+  out.push_back(Measure(
+      "pair_gang", 1,
+      [] {
+        return MakeEnokiStack(std::make_unique<PairSched>(0), MachineSpec::SmtOneSocket8());
+      },
+      [quick](Stack& s) {
+        SiblingPairsConfig cfg;
+        cfg.rounds = quick ? 400 : 3'000;
+        cfg.hint_runtime = s.runtime.get();
+        cfg.hint_queue = s.runtime->CreateHintQueue(64);
+        (void)RunSiblingPairs(*s.core, s.policy, cfg);
+      }));
+
+  // layered: three-tier service with guaranteed CPUs for the latency layer.
+  out.push_back(Measure(
+      "layered_tiers", 1,
+      [] {
+        return MakeEnokiStack(
+            std::make_unique<LayeredSched>(0, LayeredSched::DefaultThreeTier(8)));
+      },
+      [quick](Stack& s) {
+        ServiceTiersConfig cfg;
+        cfg.rounds = quick ? 400 : 3'000;
+        (void)RunServiceTiers(*s.core, s.policy, cfg);
+      }));
+
+  // rusty: cross-socket imbalance resolved by greedy domain stealing.
+  out.push_back(Measure(
+      "rusty_numa", 1,
+      [] {
+        return MakeEnokiStack(std::make_unique<RustySched>(0), MachineSpec::TwoNode16());
+      },
+      [quick](Stack& s) {
+        SocketImbalanceConfig cfg;
+        cfg.tasks = quick ? 32 : 48;
+        cfg.work_total = quick ? Milliseconds(16) : Milliseconds(48);
+        cfg.chunk = Microseconds(50);
+        (void)RunSocketImbalance(*s.core, s.policy, cfg);
       }));
 
   return out;
@@ -224,7 +308,16 @@ double BaselineValue(const std::vector<BaselineRow>& rows, const std::string& co
   return 0.0;
 }
 
-// Returns the number of regressions beyond tolerance.
+// Returns the number of regressions beyond tolerance. Every metric is gated,
+// each with the comparison direction that makes sense for it:
+//   events           exact match — the simulation is deterministic, so any
+//                    drift means behaviour changed, not just got slower
+//   events_per_sec   lower bound (relative tolerance)
+//   ns_per_event     upper bound (relative tolerance)
+//   allocs_per_event upper bound (relative tolerance + small absolute slack,
+//                    so a near-zero baseline is not impossibly tight)
+// A config present in the results but missing from the baseline fails the
+// check: new configs must land with baseline rows.
 int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::string& path,
                          double max_regress) {
   std::vector<BaselineRow> baseline;
@@ -235,6 +328,18 @@ int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::stri
   int failures = 0;
   for (const PerfResult& r : results) {
     bool found = false;
+    const double base_events = BaselineValue(baseline, r.name, "events", &found);
+    if (!found) {
+      std::fprintf(stderr, "MISSING BASELINE %s: regenerate %s\n", r.name.c_str(),
+                   path.c_str());
+      ++failures;
+      continue;
+    }
+    if (static_cast<double>(r.events) != base_events) {
+      std::fprintf(stderr, "REGRESSION %s events: %llu vs baseline %.0f (determinism)\n",
+                   r.name.c_str(), static_cast<unsigned long long>(r.events), base_events);
+      ++failures;
+    }
     const double base_eps = BaselineValue(baseline, r.name, "events_per_sec", &found);
     if (found && r.events_per_sec() < base_eps * (1.0 - max_regress)) {
       std::fprintf(stderr,
@@ -243,9 +348,14 @@ int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::stri
                    (1.0 - r.events_per_sec() / base_eps) * 100.0);
       ++failures;
     }
+    const double base_npe = BaselineValue(baseline, r.name, "ns_per_event", &found);
+    if (found && base_npe > 0 && r.ns_per_event() > base_npe * (1.0 + max_regress)) {
+      std::fprintf(stderr, "REGRESSION %s ns_per_event: %.1f vs baseline %.1f (+%.1f%%)\n",
+                   r.name.c_str(), r.ns_per_event(), base_npe,
+                   (r.ns_per_event() / base_npe - 1.0) * 100.0);
+      ++failures;
+    }
     const double base_ape = BaselineValue(baseline, r.name, "allocs_per_event", &found);
-    // Small absolute slack so a near-zero baseline doesn't make the relative
-    // gate impossibly tight.
     if (found && r.allocs_per_event() > base_ape * (1.0 + max_regress) + 0.25) {
       std::fprintf(stderr,
                    "REGRESSION %s allocs_per_event: %.3f vs baseline %.3f\n",
@@ -262,6 +372,9 @@ int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::stri
 
 int Run(int argc, char** argv) {
   const bool quick = BenchHasFlag(argc, argv, "--quick");
+  if (const char* reps = BenchArgValue(argc, argv, "--reps")) {
+    g_reps = std::atoi(reps);
+  }
   BenchJson json("bench_simperf", argc, argv);
 
   std::printf("Simulator hot-path microbenchmark (%s mode)\n", quick ? "quick" : "full");

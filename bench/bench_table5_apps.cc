@@ -11,8 +11,13 @@
 #include "bench/bench_common.h"
 #include "bench/sweep_runner.h"
 #include "src/base/stats.h"
+#include "src/sched/ext/central.h"
+#include "src/sched/ext/layered.h"
+#include "src/sched/ext/pair.h"
+#include "src/sched/ext/rusty.h"
 #include "src/sched/wfq.h"
 #include "src/workloads/apps.h"
+#include "src/workloads/portfolio.h"
 
 namespace enoki {
 namespace {
@@ -67,10 +72,143 @@ void Run() {
               max_slowdown, max_speedup);
 }
 
+// ---- Policy portfolio -----------------------------------------------------
+// Each sched_ext portfolio policy on the workload it was built for, against
+// CFS on the same machine; central additionally against ghOSt SOL, the
+// centralized-dispatch baseline it is modeled after.
+
+void RunPortfolio() {
+  std::printf("\nPolicy portfolio: each sched_ext policy on its paired workload\n\n");
+
+  // central vs CFS vs ghOSt SOL: tenant wake-to-run latency under batch load.
+  {
+    const MachineSpec spec = MachineSpec::OneSocket8();
+    TenantMixConfig cfg;
+    cfg.rounds = 400;
+    TenantMixResult central;
+    TenantMixResult cfs;
+    TenantMixResult sol;
+    SweepRunner sweep;
+    sweep.Add([&] {
+      Stack s = MakeEnokiStack(std::make_unique<CentralSched>(0), spec);
+      central = RunTenantMix(*s.core, s.policy, cfg);
+    });
+    sweep.Add([&] {
+      Stack s = MakeCfsStack(spec);
+      cfs = RunTenantMix(*s.core, s.policy, cfg);
+    });
+    sweep.Add([&] {
+      // SOL's global agent spins on CPU 7; workers get the rest, like the
+      // central scheduler's reserved dispatch CPU.
+      CpuMask workers;
+      for (int c = 0; c < spec.ncpus - 1; ++c) {
+        workers.Set(c);
+      }
+      Stack s = MakeGhostStack(GhostClass::Mode::kSol, workers, spec.ncpus - 1, spec);
+      sol = RunTenantMix(*s.core, s.policy, cfg);
+    });
+    sweep.Run();
+    std::printf("tenant mix (central's workload): wake-to-run latency, lower is better\n");
+    std::printf("  %-12s %12s %12s %10s\n", "scheduler", "p50 (us)", "p99 (us)", "complete");
+    std::printf("  %-12s %12.1f %12.1f %10s\n", "central", central.p50 / 1e3, central.p99 / 1e3,
+                central.completed ? "yes" : "NO");
+    std::printf("  %-12s %12.1f %12.1f %10s\n", "ghost-sol", sol.p50 / 1e3, sol.p99 / 1e3,
+                sol.completed ? "yes" : "NO");
+    std::printf("  %-12s %12.1f %12.1f %10s\n\n", "cfs", cfs.p50 / 1e3, cfs.p99 / 1e3,
+                cfs.completed ? "yes" : "NO");
+  }
+
+  // pair vs CFS: the throughput cost of the sibling cookie rule.
+  {
+    const MachineSpec spec = MachineSpec::SmtOneSocket8();
+    SiblingPairsConfig cfg;
+    cfg.rounds = 600;
+    SiblingPairsResult pair;
+    SiblingPairsResult cfs;
+    SweepRunner sweep;
+    sweep.Add([&] {
+      Stack s = MakeEnokiStack(std::make_unique<PairSched>(0), spec);
+      SiblingPairsConfig c = cfg;
+      c.hint_runtime = s.runtime.get();
+      c.hint_queue = s.runtime->CreateHintQueue(64);
+      pair = RunSiblingPairs(*s.core, s.policy, c);
+    });
+    sweep.Add([&] {
+      Stack s = MakeCfsStack(spec);
+      cfs = RunSiblingPairs(*s.core, s.policy, cfg);
+    });
+    sweep.Run();
+    const double tax = cfs.makespan > 0
+                           ? (static_cast<double>(pair.makespan) / cfs.makespan - 1.0) * 100.0
+                           : 0.0;
+    std::printf("sibling pairs (pair's workload): makespan, 2 cookie domains\n");
+    std::printf("  %-12s %12s %12s %10s\n", "scheduler", "makespan ms", "p99 (us)", "complete");
+    std::printf("  %-12s %12.2f %12.1f %10s\n", "pair", pair.makespan / 1e6, pair.p99 / 1e3,
+                pair.completed ? "yes" : "NO");
+    std::printf("  %-12s %12.2f %12.1f %10s\n", "cfs", cfs.makespan / 1e6, cfs.p99 / 1e3,
+                cfs.completed ? "yes" : "NO");
+    std::printf("  security tax: %+.1f%% makespan vs CFS (isolation is not free)\n\n", tax);
+  }
+
+  // layered vs CFS: latency-tier p99 with batch load underneath.
+  {
+    const MachineSpec spec = MachineSpec::OneSocket8();
+    ServiceTiersConfig cfg;
+    cfg.rounds = 600;
+    ServiceTiersResult layered;
+    ServiceTiersResult cfs;
+    SweepRunner sweep;
+    sweep.Add([&] {
+      Stack s = MakeEnokiStack(
+          std::make_unique<LayeredSched>(0, LayeredSched::DefaultThreeTier(spec.ncpus)), spec);
+      layered = RunServiceTiers(*s.core, s.policy, cfg);
+    });
+    sweep.Add([&] {
+      Stack s = MakeCfsStack(spec);
+      cfs = RunServiceTiers(*s.core, s.policy, cfg);
+    });
+    sweep.Run();
+    std::printf("service tiers (layered's workload): per-tier wake-to-run p99\n");
+    std::printf("  %-12s %14s %12s %12s %10s\n", "scheduler", "frontend p99us", "mid p99us",
+                "batch cpus", "complete");
+    std::printf("  %-12s %14.1f %12.1f %12.2f %10s\n", "layered", layered.frontend_p99 / 1e3,
+                layered.mid_p99 / 1e3, layered.batch_cpus, layered.completed ? "yes" : "NO");
+    std::printf("  %-12s %14.1f %12.1f %12.2f %10s\n\n", "cfs", cfs.frontend_p99 / 1e3,
+                cfs.mid_p99 / 1e3, cfs.batch_cpus, cfs.completed ? "yes" : "NO");
+  }
+
+  // rusty vs CFS: makespan after a node-0 pin is released mid-run.
+  {
+    const MachineSpec spec = MachineSpec::TwoNode16();
+    SocketImbalanceConfig cfg;
+    cfg.tasks = 32;
+    cfg.work_total = Milliseconds(12);
+    SocketImbalanceResult rusty;
+    SocketImbalanceResult cfs;
+    SweepRunner sweep;
+    sweep.Add([&] {
+      Stack s = MakeEnokiStack(std::make_unique<RustySched>(0), spec);
+      rusty = RunSocketImbalance(*s.core, s.policy, cfg);
+    });
+    sweep.Add([&] {
+      Stack s = MakeCfsStack(spec);
+      cfs = RunSocketImbalance(*s.core, s.policy, cfg);
+    });
+    sweep.Run();
+    std::printf("socket imbalance (rusty's workload): makespan after pin release\n");
+    std::printf("  %-12s %12s %10s\n", "scheduler", "makespan ms", "complete");
+    std::printf("  %-12s %12.2f %10s\n", "rusty", rusty.makespan / 1e6,
+                rusty.completed ? "yes" : "NO");
+    std::printf("  %-12s %12.2f %10s\n", "cfs", cfs.makespan / 1e6,
+                cfs.completed ? "yes" : "NO");
+  }
+}
+
 }  // namespace
 }  // namespace enoki
 
 int main() {
   enoki::Run();
+  enoki::RunPortfolio();
   return 0;
 }

@@ -121,6 +121,9 @@ class TransferState {
     if (type_ == nullptr || *type_ != typeid(T) || data_ == nullptr) {
       return nullptr;
     }
+    if (taken_ != nullptr) {
+      *taken_ = true;
+    }
     // The framework hands transfer state to exactly one recipient, so the
     // shared_ptr is unique here.
     T* raw = static_cast<T*>(data_.get());
@@ -136,9 +139,20 @@ class TransferState {
   bool empty() const { return data_ == nullptr; }
   const char* type_name() const { return type_ == nullptr ? "<empty>" : type_->name(); }
 
+  // Consumption probe for the upgrade transaction: the runtime attaches one
+  // before handing the state to the incoming module's ReregisterInit, and a
+  // successful Take() sets it. A cross-policy upgrade (the types do not
+  // match) leaves it false, telling the runtime the carried tokens died and
+  // queued tasks must be re-injected as fresh wakeups.
+  std::shared_ptr<bool> AttachConsumptionProbe() {
+    taken_ = std::make_shared<bool>(false);
+    return taken_;
+  }
+
  private:
   std::shared_ptr<void> data_;
   const std::type_info* type_ = nullptr;
+  std::shared_ptr<bool> taken_;
 };
 
 // Kernel services available to a scheduler module (locks and timers per
@@ -151,6 +165,11 @@ class EnokiKernelEnv {
   virtual Time Now() const = 0;
   virtual int NumCpus() const = 0;
   virtual int NodeOf(int cpu) const = 0;
+
+  // The SMT sibling of `cpu`, or -1 when the machine topology has none.
+  // Defaulted so pre-portfolio environments (and userspace replay) need no
+  // change.
+  virtual int SiblingOf(int cpu) const { return -1; }
 
   // Arms a one-shot per-CPU timer; TimerFired(cpu) is invoked on expiry.
   virtual void ArmTimer(int cpu, Duration delay) = 0;

@@ -903,6 +903,8 @@ Time EnokiRuntime::Now() const { return core_->now(); }
 int EnokiRuntime::NumCpus() const { return core_->ncpus(); }
 int EnokiRuntime::NodeOf(int cpu) const { return core_->NodeOf(cpu); }
 
+int EnokiRuntime::SiblingOf(int cpu) const { return core_->SiblingOf(cpu); }
+
 void EnokiRuntime::ArmTimer(int cpu, Duration delay) {
   core_->ChargeCpu(cpu, core_->costs().timer_arm_ns);
   core_->ArmClassTimer(cpu, delay, this);
@@ -999,6 +1001,11 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next, const Upgr
     report.error = std::string("module refused to quiesce: ") + ex.what();
     return report;
   }
+  // Probe whether the incoming module actually adopts the transferred state.
+  // A cross-policy upgrade names a different transfer type, so Take() fails,
+  // the carried Schedulable tokens die with the transfer, and the commit path
+  // must re-inject queued tasks as fresh wakeups or they strand forever.
+  std::shared_ptr<bool> consumed = state.AttachConsumptionProbe();
   next->Attach(this);
   EnokiSched* incoming = next.get();
   std::unique_ptr<EnokiSched> outgoing = std::move(module_);
@@ -1080,6 +1087,26 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next, const Upgr
     BeginProbation(opts.probation.value_or(ProbationConfig{}), /*upgrade_txn=*/true);
   } else if (checkpointed) {
     last_good_ = std::move(ck);
+  }
+  if (!*consumed) {
+    // The incoming module did not take the transfer (different policy, or the
+    // outgoing module exported nothing): every token it carried is gone.
+    // Re-inject queued tasks with freshly minted tokens, exactly like the
+    // rollback and restart paths, so a cross-policy upgrade loses no tasks.
+    // Runs after probation is armed so a misbehaving successor that trips the
+    // watchdog here is contained by the normal probation rollback.
+    recovering_ = true;
+    const uint64_t reinjected = ReinjectQueuedTasks();
+    recovering_ = false;
+    if (reinjected > 0) {
+      const Duration extra = static_cast<Duration>(reinjected) * costs.restore_pertask_ns;
+      pause += extra;
+      report.pause_ns = pause;
+      for (int cpu = 0; cpu < core_->ncpus(); ++cpu) {
+        core_->ChargeCpu(cpu, extra);
+      }
+      KickAllCpus();
+    }
   }
   return report;
 }

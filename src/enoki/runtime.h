@@ -75,6 +75,7 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   Time Now() const override;
   int NumCpus() const override;
   int NodeOf(int cpu) const override;
+  int SiblingOf(int cpu) const override;
   void ArmTimer(int cpu, Duration delay) override;
   void ReschedCpu(int cpu) override;
   void BusyWait(int cpu, Duration d) override;

@@ -13,6 +13,9 @@ SchedCore::SchedCore(MachineSpec spec, SimCosts costs)
     : spec_(spec), costs_(costs), cpus_(static_cast<size_t>(spec.ncpus)) {
   ENOKI_CHECK(spec.ncpus > 0 && spec.ncpus <= CpuMask::kMaxCpus);
   ENOKI_CHECK(spec.nodes > 0 && spec.ncpus % spec.nodes == 0);
+  ENOKI_CHECK(spec.node_of.empty() ||
+              spec.node_of.size() == static_cast<size_t>(spec.ncpus));
+  ENOKI_CHECK(!spec.smt_pairs || spec.ncpus % 2 == 0);
 }
 
 SchedCore::~SchedCore() = default;

@@ -34,9 +34,30 @@
 namespace enoki {
 
 struct MachineSpec {
+  MachineSpec() = default;
+  MachineSpec(int ncpus_in, int nodes_in, std::string name_in)
+      : ncpus(ncpus_in), nodes(nodes_in), name(std::move(name_in)) {}
+
   int ncpus = 8;
   int nodes = 1;
   std::string name = "1-socket i7-9700 (8 cores)";
+  // SMT topology hint: when true, adjacent CPU ids (0,1), (2,3), ... are
+  // hyperthread siblings on one physical core. Off by default so every
+  // pre-existing config is byte-identical.
+  bool smt_pairs = false;
+  // Explicit per-CPU NUMA node map. Empty means the historical layout of
+  // `nodes` contiguous blocks of ncpus/nodes CPUs each.
+  std::vector<int> node_of;
+
+  int NodeOfCpu(int cpu) const {
+    if (cpu >= 0 && cpu < static_cast<int>(node_of.size())) {
+      return node_of[cpu];
+    }
+    return cpu / (ncpus / nodes);
+  }
+
+  // The SMT sibling of `cpu`, or -1 on machines without SMT.
+  int SiblingOfCpu(int cpu) const { return smt_pairs ? (cpu ^ 1) : -1; }
 
   // The 8-core one-socket machine used for most of the paper's evaluation.
   static MachineSpec OneSocket8() { return MachineSpec{8, 1, "1-socket i7-9700 (8 cores)"}; }
@@ -44,6 +65,24 @@ struct MachineSpec {
   // The 80-core two-socket Xeon Gold 6138 machine used for scalability tests.
   static MachineSpec TwoSocket80() {
     return MachineSpec{80, 2, "2-socket Xeon Gold 6138 (80 cores)"};
+  }
+
+  // SMT variant of the 8-thread machine: 4 physical cores x 2 threads.
+  static MachineSpec SmtOneSocket8() {
+    MachineSpec s{8, 1, "1-socket SMT (4 cores x 2 threads)"};
+    s.smt_pairs = true;
+    return s;
+  }
+
+  // Small two-node machine for NUMA-domain scheduling tests and benches.
+  static MachineSpec TwoNode16() { return MachineSpec{16, 2, "2-node NUMA (2x8 cores)"}; }
+
+  // 16 threads, 2 nodes, SMT pairs: every portfolio policy's topology needs
+  // are met on one machine (used by the cross-policy upgrade sweeps).
+  static MachineSpec PortfolioBox16() {
+    MachineSpec s{16, 2, "2-node SMT portfolio box (2x4 cores x 2 threads)"};
+    s.smt_pairs = true;
+    return s;
   }
 };
 
@@ -158,7 +197,8 @@ class SchedCore {
   EventLoop& loop() { return loop_; }
   Time now() const { return loop_.now(); }
   int ncpus() const { return spec_.ncpus; }
-  int NodeOf(int cpu) const { return cpu / (spec_.ncpus / spec_.nodes); }
+  int NodeOf(int cpu) const { return spec_.NodeOfCpu(cpu); }
+  int SiblingOf(int cpu) const { return spec_.SiblingOfCpu(cpu); }
   const MachineSpec& spec() const { return spec_; }
   const SimCosts& costs() const { return costs_; }
   SchedClass* ClassForPolicy(int policy) const { return classes_[policy]; }

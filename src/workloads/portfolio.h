@@ -1,0 +1,408 @@
+// Paired workloads for the sched_ext policy portfolio (src/sched/ext/).
+//
+// Each portfolio policy gets the scenario it was designed for:
+//   central -> RunTenantMix:       mostly-idle tenants whose bursts must be
+//                                  dispatched promptly by the central pulse
+//                                  while batch spinners hog the workers.
+//   pair    -> RunSiblingPairs:    two adversarial cookie populations on an
+//                                  SMT machine; the compatibility rule costs
+//                                  throughput (the L1TF security tax).
+//   layered -> RunServiceTiers:    a latency tier feeding a normal tier with
+//                                  batch spinners underneath; the latency
+//                                  tier's guaranteed CPUs bound its p99.
+//   rusty   -> RunSocketImbalance: compute pinned to node 0, released
+//                                  mid-run; greedy cross-domain stealing
+//                                  determines the makespan.
+//
+// All four follow the house workload idiom (pipe.h/schbench.h/dispersive.h):
+// MakeFnBody state machines over shared_ptr state, deterministic seeded
+// jitter, results carried in plain structs.
+
+#ifndef SRC_WORKLOADS_PORTFOLIO_H_
+#define SRC_WORKLOADS_PORTFOLIO_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/enoki/runtime.h"
+#include "src/simkernel/bodies.h"
+#include "src/simkernel/sched_core.h"
+
+namespace enoki {
+
+// ---- central: tickless tenant mix ----
+
+struct TenantMixConfig {
+  int tenants = 24;
+  uint64_t rounds = 300;                     // bursts per tenant
+  Duration think_ns = Microseconds(800);     // mean idle gap between bursts
+  Duration burst_ns = Microseconds(30);      // per-wake service burst
+  int batch_tasks = 2;                       // spinners the pulse must police
+  Duration batch_spin = Milliseconds(1);
+  int batch_policy = -1;                     // -1: same policy as the tenants
+  int batch_nice = 0;
+  uint64_t seed = 1;
+};
+
+struct TenantMixResult {
+  bool completed = false;
+  Duration p50 = 0;
+  Duration p99 = 0;
+  uint64_t wakeups = 0;
+  Time end_time = 0;
+};
+
+inline TenantMixResult RunTenantMix(SchedCore& core, int policy, const TenantMixConfig& config) {
+  auto latencies = std::make_shared<LatencyRecorder>();
+  auto tenant_pids = std::make_shared<std::unordered_set<uint64_t>>();
+  core.set_wake_latency_hook([latencies, tenant_pids](Task* t, Duration lat) {
+    if (tenant_pids->count(t->pid()) > 0) {
+      latencies->Record(lat);
+    }
+  });
+
+  Rng seeder(config.seed);
+  std::vector<Task*> tenants;
+  for (int i = 0; i < config.tenants; ++i) {
+    struct TenantState {
+      Rng rng;
+      uint64_t remaining;
+      int step = 0;
+    };
+    auto st = std::make_shared<TenantState>(TenantState{seeder.Fork(), config.rounds});
+    const Duration think = config.think_ns;
+    const Duration burst = config.burst_ns;
+    Task* t = core.CreateTaskOn(
+        "tenant-" + std::to_string(i),
+        MakeFnBody([st, think, burst](SimContext& ctx) -> Action {
+          TenantState& s = *st;
+          if (s.step == 0) {
+            if (s.remaining == 0) {
+              return Action::Exit();
+            }
+            --s.remaining;
+            s.step = 1;
+            // Mostly idle: sleep think/2..3*think/2, then a tiny burst.
+            return Action::Sleep(think / 2 + s.rng.NextBelow(think));
+          }
+          s.step = 0;
+          return Action::Compute(burst);
+        }),
+        policy, 0, CpuMask::All(core.ncpus()));
+    tenant_pids->insert(t->pid());
+    tenants.push_back(t);
+  }
+
+  const int batch_policy = config.batch_policy >= 0 ? config.batch_policy : policy;
+  for (int b = 0; b < config.batch_tasks; ++b) {
+    core.CreateTaskOn("tenant-batch-" + std::to_string(b),
+                      std::make_unique<SpinForeverBody>(config.batch_spin), batch_policy,
+                      config.batch_nice, CpuMask::All(core.ncpus()));
+  }
+
+  core.Start();
+  const Time start = core.now();
+  const Duration per_round = 2 * config.think_ns + config.burst_ns + Milliseconds(1);
+  const bool done =
+      core.RunUntilTasksDead(tenants, start + config.rounds * per_round + Seconds(1));
+  core.set_wake_latency_hook(nullptr);
+
+  TenantMixResult result;
+  result.completed = done;
+  result.p50 = latencies->Percentile(50.0);
+  result.p99 = latencies->Percentile(99.0);
+  result.wakeups = latencies->count();
+  result.end_time = core.now();
+  return result;
+}
+
+// ---- pair: adversarial sibling cookies ----
+
+struct SiblingPairsConfig {
+  int tasks_per_cookie = 4;
+  int cookies = 2;                          // distinct security domains
+  uint64_t rounds = 400;
+  Duration compute_ns = Microseconds(200);
+  Duration gap_ns = Microseconds(100);
+  // Cookies travel through the module hint queue, like real scx_pair
+  // configuration; without a runtime every task keeps cookie 0.
+  EnokiRuntime* hint_runtime = nullptr;
+  int hint_queue = -1;
+};
+
+struct SiblingPairsResult {
+  bool completed = false;
+  Duration makespan = 0;
+  Duration p99 = 0;
+  uint64_t wakeups = 0;
+  Time end_time = 0;
+};
+
+inline SiblingPairsResult RunSiblingPairs(SchedCore& core, int policy,
+                                          const SiblingPairsConfig& config) {
+  auto latencies = std::make_shared<LatencyRecorder>();
+  auto pids = std::make_shared<std::unordered_set<uint64_t>>();
+  core.set_wake_latency_hook([latencies, pids](Task* t, Duration lat) {
+    if (pids->count(t->pid()) > 0) {
+      latencies->Record(lat);
+    }
+  });
+
+  std::vector<Task*> tasks;
+  for (int c = 0; c < config.cookies; ++c) {
+    for (int i = 0; i < config.tasks_per_cookie; ++i) {
+      struct PairState {
+        uint64_t remaining;
+        int step = 0;
+      };
+      auto st = std::make_shared<PairState>(PairState{config.rounds});
+      const Duration work = config.compute_ns;
+      const Duration gap = config.gap_ns;
+      Task* t = core.CreateTaskOn(
+          "cookie" + std::to_string(c + 1) + "-" + std::to_string(i),
+          MakeFnBody([st, work, gap](SimContext& ctx) -> Action {
+            PairState& s = *st;
+            if (s.step == 0) {
+              if (s.remaining == 0) {
+                return Action::Exit();
+              }
+              --s.remaining;
+              s.step = 1;
+              return Action::Compute(work);
+            }
+            s.step = 0;
+            return Action::Sleep(gap);
+          }),
+          policy, 0, CpuMask::All(core.ncpus()));
+      pids->insert(t->pid());
+      tasks.push_back(t);
+      if (config.hint_runtime != nullptr) {
+        HintBlob hint;
+        hint.w[0] = t->pid();
+        hint.w[1] = static_cast<uint64_t>(c + 1);
+        config.hint_runtime->SendHint(config.hint_queue, hint);
+      }
+    }
+  }
+
+  core.Start();
+  const Time start = core.now();
+  const Duration per_round = config.compute_ns + config.gap_ns;
+  const bool done = core.RunUntilTasksDead(
+      tasks, start + config.rounds * per_round * (config.cookies + 2) + Seconds(1));
+  core.set_wake_latency_hook(nullptr);
+
+  SiblingPairsResult result;
+  result.completed = done;
+  result.makespan = core.now() - start;
+  result.p99 = latencies->Percentile(99.0);
+  result.wakeups = latencies->count();
+  result.end_time = core.now();
+  return result;
+}
+
+// ---- layered: multi-tier service ----
+
+struct ServiceTiersConfig {
+  int groups = 3;                           // frontend+mid pairs
+  uint64_t rounds = 300;
+  Duration frontend_work = Microseconds(20);
+  Duration mid_work = Microseconds(100);
+  Duration think_ns = Microseconds(400);    // frontend idle gap (jittered)
+  int frontend_nice = -10;                  // matches the latency layer
+  int mid_nice = 0;                         // matches the normal layer
+  int batch_tasks = 2;
+  int batch_nice = 10;                      // matches the batch layer
+  Duration batch_spin = Milliseconds(1);
+  uint64_t seed = 1;
+};
+
+struct ServiceTiersResult {
+  bool completed = false;
+  Duration frontend_p99 = 0;  // latency-tier wakeup p99
+  Duration mid_p99 = 0;
+  double batch_cpus = 0.0;    // average CPUs' worth of batch runtime
+  uint64_t wakeups = 0;
+  Time end_time = 0;
+};
+
+inline ServiceTiersResult RunServiceTiers(SchedCore& core, int policy,
+                                          const ServiceTiersConfig& config) {
+  auto fe_lat = std::make_shared<LatencyRecorder>();
+  auto mid_lat = std::make_shared<LatencyRecorder>();
+  auto fe_pids = std::make_shared<std::unordered_set<uint64_t>>();
+  auto mid_pids = std::make_shared<std::unordered_set<uint64_t>>();
+  core.set_wake_latency_hook([fe_lat, mid_lat, fe_pids, mid_pids](Task* t, Duration lat) {
+    if (fe_pids->count(t->pid()) > 0) {
+      fe_lat->Record(lat);
+    } else if (mid_pids->count(t->pid()) > 0) {
+      mid_lat->Record(lat);
+    }
+  });
+
+  auto wqs = std::make_shared<std::vector<std::unique_ptr<WaitQueue>>>();
+  Rng seeder(config.seed);
+  std::vector<Task*> chain;
+  for (int g = 0; g < config.groups; ++g) {
+    wqs->push_back(std::make_unique<WaitQueue>("tier-" + std::to_string(g)));
+    WaitQueue* wq = wqs->back().get();
+
+    // Mid worker: serve `rounds` requests, then exit.
+    struct MidState {
+      uint64_t remaining;
+      int step = 0;
+    };
+    auto mst = std::make_shared<MidState>(MidState{config.rounds});
+    const Duration mwork = config.mid_work;
+    Task* mid = core.CreateTaskOn(
+        "mid-" + std::to_string(g),
+        MakeFnBody([mst, mwork, wq](SimContext& ctx) -> Action {
+          MidState& s = *mst;
+          if (s.step == 0) {
+            if (s.remaining == 0) {
+              return Action::Exit();
+            }
+            --s.remaining;
+            s.step = 1;
+            return Action::Block(wq);
+          }
+          s.step = 0;
+          return Action::Compute(mwork);
+        }),
+        policy, config.mid_nice, CpuMask::All(core.ncpus()));
+    mid_pids->insert(mid->pid());
+    chain.push_back(mid);
+
+    // Frontend: think, a small burst, hand off to the mid tier.
+    struct FeState {
+      Rng rng;
+      uint64_t remaining;
+      int step = 0;
+    };
+    auto fst = std::make_shared<FeState>(FeState{seeder.Fork(), config.rounds});
+    const Duration fwork = config.frontend_work;
+    const Duration think = config.think_ns;
+    Task* fe = core.CreateTaskOn(
+        "frontend-" + std::to_string(g),
+        MakeFnBody([fst, fwork, think, wq](SimContext& ctx) -> Action {
+          FeState& s = *fst;
+          switch (s.step) {
+            case 0:
+              if (s.remaining == 0) {
+                return Action::Exit();
+              }
+              --s.remaining;
+              s.step = 1;
+              return Action::Sleep(think / 2 + s.rng.NextBelow(think));
+            case 1:
+              s.step = 2;
+              return Action::Compute(fwork);
+            default:
+              s.step = 0;
+              return Action::Wake(wq);
+          }
+        }),
+        policy, config.frontend_nice, CpuMask::All(core.ncpus()));
+    fe_pids->insert(fe->pid());
+    chain.push_back(fe);
+  }
+
+  std::vector<Task*> batch;
+  for (int b = 0; b < config.batch_tasks; ++b) {
+    batch.push_back(core.CreateTaskOn("tier-batch-" + std::to_string(b),
+                                      std::make_unique<SpinForeverBody>(config.batch_spin),
+                                      policy, config.batch_nice, CpuMask::All(core.ncpus())));
+  }
+
+  core.Start();
+  const Time start = core.now();
+  const Duration per_round = 2 * config.think_ns + config.mid_work + Milliseconds(1);
+  const bool done =
+      core.RunUntilTasksDead(chain, start + config.rounds * per_round + Seconds(1));
+  core.set_wake_latency_hook(nullptr);
+
+  ServiceTiersResult result;
+  result.completed = done;
+  result.frontend_p99 = fe_lat->Percentile(99.0);
+  result.mid_p99 = mid_lat->Percentile(99.0);
+  result.wakeups = fe_lat->count() + mid_lat->count();
+  const double elapsed_sec = ToSeconds(core.now() - start);
+  if (elapsed_sec > 0) {
+    Duration batch_rt = 0;
+    for (Task* t : batch) {
+      batch_rt += core.TaskRuntime(t);
+    }
+    result.batch_cpus = ToSeconds(batch_rt) / elapsed_sec;
+  }
+  result.end_time = core.now();
+  return result;
+}
+
+// ---- rusty: cross-socket imbalance ----
+
+struct SocketImbalanceConfig {
+  int tasks = 24;
+  Duration work_total = Milliseconds(8);    // per-task CPU demand
+  Duration chunk = Microseconds(200);
+  int pin_node = 0;                         // all tasks start pinned here
+  Duration release_after = Milliseconds(5); // then affinity opens up
+  int nice = 0;
+};
+
+struct SocketImbalanceResult {
+  bool completed = false;
+  Duration makespan = 0;
+  Time end_time = 0;
+};
+
+inline SocketImbalanceResult RunSocketImbalance(SchedCore& core,
+                                                const int policy,
+                                                const SocketImbalanceConfig& config) {
+  CpuMask pinned;
+  for (int cpu = 0; cpu < core.ncpus(); ++cpu) {
+    if (core.NodeOf(cpu) == config.pin_node) {
+      pinned.Set(cpu);
+    }
+  }
+
+  auto tasks = std::make_shared<std::vector<Task*>>();
+  for (int i = 0; i < config.tasks; ++i) {
+    tasks->push_back(core.CreateTaskOn("imbalance-" + std::to_string(i),
+                                       std::make_unique<CpuBoundBody>(config.work_total,
+                                                                      config.chunk),
+                                       policy, config.nice, pinned));
+  }
+
+  // Mid-run the pin is lifted (deployment finished, cgroup widened); from
+  // here on only the scheduler's cross-domain balancing spreads the load.
+  SchedCore* corep = &core;
+  const int ncpus = core.ncpus();
+  core.loop().ScheduleAfter(config.release_after, [tasks, corep, ncpus] {
+    for (Task* t : *tasks) {
+      if (t->state() != TaskState::kDead) {
+        corep->SetTaskAffinity(t, CpuMask::All(ncpus));
+      }
+    }
+  });
+
+  core.Start();
+  const Time start = core.now();
+  // Worst case: everything serialized on one node's CPUs.
+  const Duration budget =
+      config.work_total * static_cast<uint64_t>(config.tasks) + Seconds(1);
+  const bool done = core.RunUntilTasksDead(*tasks, start + budget);
+
+  SocketImbalanceResult result;
+  result.completed = done;
+  result.makespan = core.now() - start;
+  result.end_time = core.now();
+  return result;
+}
+
+}  // namespace enoki
+
+#endif  // SRC_WORKLOADS_PORTFOLIO_H_
