@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench/bench_common.h"
 #include "src/sched/ext/central.h"
 #include "src/sched/ext/layered.h"
@@ -45,6 +47,7 @@
 #include "src/sched/shinjuku.h"
 #include "src/sched/wfq.h"
 #include "src/workloads/dispersive.h"
+#include "src/workloads/multitenant.h"
 #include "src/workloads/pipe.h"
 #include "src/workloads/portfolio.h"
 #include "src/workloads/schbench.h"
@@ -93,6 +96,7 @@ struct PerfResult {
   double wall_sec = 0.0;
   uint64_t allocs = 0;
   uint64_t seed = 0;
+  int shard_threads = 0;  // 0 = single-loop config (no shard column)
 
   double events_per_sec() const { return wall_sec > 0 ? events / wall_sec : 0.0; }
   double ns_per_event() const { return events > 0 ? wall_sec * 1e9 / events : 0.0; }
@@ -139,6 +143,56 @@ PerfResult Measure(const std::string& name, uint64_t seed, MakeStackFn make_stac
     r.allocs = std::min(r.allocs, allocs);
   }
   return r;
+}
+
+// Sharded-engine variant of Measure: events come from the engine (sum over
+// shard loops) and every rep's result fingerprint must match — the bench
+// doubles as a double-run determinism check on the exact configs it gates.
+PerfResult MeasureMt(const std::string& name, const MultitenantConfig& cfg) {
+  PerfResult r;
+  r.name = name;
+  r.seed = cfg.seed;
+  r.shard_threads = ShardedEventLoop::ResolveThreads(cfg.shard_threads, cfg.nshards);
+  uint64_t fingerprint = 0;
+  for (int rep = 0; rep < std::max(1, g_reps); ++rep) {
+    MultitenantSim sim(cfg);
+    const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const MultitenantResult res = sim.Run();
+    const auto wall_end = std::chrono::steady_clock::now();
+    const uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    const double wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
+    if (rep == 0) {
+      r.events = res.events;
+      r.allocs = allocs;
+      r.wall_sec = wall_sec;
+      fingerprint = res.fingerprint;
+      continue;
+    }
+    if (res.events != r.events || res.fingerprint != fingerprint) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION %s: rep %d events %llu fp %llx, rep 0 %llu/%llx\n",
+                   name.c_str(), rep, static_cast<unsigned long long>(res.events),
+                   static_cast<unsigned long long>(res.fingerprint),
+                   static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(fingerprint));
+      std::exit(2);
+    }
+    r.wall_sec = std::min(r.wall_sec, wall_sec);
+    r.allocs = std::min(r.allocs, allocs);
+  }
+  return r;
+}
+
+MultitenantConfig MtConfig(MachineSpec machine, int nshards, int shard_threads, bool quick) {
+  MultitenantConfig cfg;
+  cfg.machine = machine;
+  cfg.nshards = nshards;
+  cfg.shard_threads = shard_threads;
+  cfg.warmup = Milliseconds(quick ? 10 : 20);
+  cfg.runtime = Milliseconds(quick ? 80 : 300);
+  cfg.seed = 11;
+  return cfg;
 }
 
 CpuMask ShinjukuWorkerMask() {
@@ -246,7 +300,59 @@ std::vector<PerfResult> RunAll(bool quick) {
         (void)RunSocketImbalance(*s.core, s.policy, cfg);
       }));
 
+  // ---- large sharded machines: the multitenant datacenter workload -------
+  // The flat rows are the true single-threaded engine (K=1 fast path) on the
+  // whole box; the _s*t* rows shard per NUMA node and vary host threads.
+  // t1-vs-t4 event counts and fingerprints are asserted identical inside
+  // MeasureMt; t4-vs-flat throughput is the speedup gate below.
+  const MachineSpec m128 = MachineSpec::FourNode128();
+  const MachineSpec m256 = MachineSpec::EightNode256();
+  out.push_back(MeasureMt("mt128_flat", MtConfig(m128, 1, 1, quick)));
+  out.push_back(MeasureMt("mt128_s4t1", MtConfig(m128, 4, 1, quick)));
+  out.push_back(MeasureMt("mt128_s4t4", MtConfig(m128, 4, 4, quick)));
+  out.push_back(MeasureMt("mt256_flat", MtConfig(m256, 1, 1, quick)));
+  out.push_back(MeasureMt("mt256_s8t1", MtConfig(m256, 8, 1, quick)));
+  out.push_back(MeasureMt("mt256_s8t4", MtConfig(m256, 8, 4, quick)));
+
   return out;
+}
+
+// ---- Shard speedup gate ----------------------------------------------------
+
+double EventsPerSecOf(const std::vector<PerfResult>& results, const std::string& name) {
+  for (const PerfResult& r : results) {
+    if (r.name == name) {
+      return r.events_per_sec();
+    }
+  }
+  return 0.0;
+}
+
+// ISSUE 7 acceptance: on the 256-CPU config, 4 shard threads must deliver
+// >= 1.5x the events/sec of the unsharded engine. Only meaningful on hosts
+// that can actually run 4 threads — on smaller machines the gate reports and
+// skips (loudly) instead of failing on hardware it cannot exercise.
+int CheckShardSpeedup(const std::vector<PerfResult>& results) {
+  const double flat = EventsPerSecOf(results, "mt256_flat");
+  const double t4 = EventsPerSecOf(results, "mt256_s8t4");
+  if (flat <= 0.0 || t4 <= 0.0) {
+    return 0;  // configs not run
+  }
+  const double speedup = t4 / flat;
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::printf("shard speedup (mt256, 4 threads vs unsharded): %.2fx on %u-core host\n",
+              speedup, hc);
+  if (hc < 4) {
+    std::printf("SKIPPING shard speedup gate: host has %u hardware threads (< 4); "
+                "the >=1.5x bound is only enforceable with real parallelism\n", hc);
+    return 0;
+  }
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "REGRESSION shard speedup: %.2fx < 1.5x (mt256_s8t4 vs mt256_flat)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
 }
 
 // ---- Baseline comparison --------------------------------------------------
@@ -378,29 +484,37 @@ int Run(int argc, char** argv) {
   BenchJson json("bench_simperf", argc, argv);
 
   std::printf("Simulator hot-path microbenchmark (%s mode)\n", quick ? "quick" : "full");
-  std::printf("%-12s %14s %14s %12s %14s\n", "workload", "events", "events/sec", "ns/event",
-              "allocs/event");
+  std::printf("%-12s %8s %14s %14s %12s %14s\n", "workload", "shrdthr", "events",
+              "events/sec", "ns/event", "allocs/event");
 
   const std::vector<PerfResult> results = RunAll(quick);
   for (const PerfResult& r : results) {
-    std::printf("%-12s %14llu %14.0f %12.1f %14.3f\n", r.name.c_str(),
+    char shard_col[8] = "-";
+    if (r.shard_threads > 0) {
+      std::snprintf(shard_col, sizeof(shard_col), "%d", r.shard_threads);
+    }
+    std::printf("%-12s %8s %14llu %14.0f %12.1f %14.3f\n", r.name.c_str(), shard_col,
                 static_cast<unsigned long long>(r.events), r.events_per_sec(),
                 r.ns_per_event(), r.allocs_per_event());
     json.Row(r.name, "events_per_sec", r.events_per_sec(), r.seed);
     json.Row(r.name, "ns_per_event", r.ns_per_event(), r.seed);
     json.Row(r.name, "allocs_per_event", r.allocs_per_event(), r.seed);
     json.Row(r.name, "events", static_cast<double>(r.events), r.seed);
+    if (r.shard_threads > 0) {
+      json.Row(r.name, "shard_threads", static_cast<double>(r.shard_threads), r.seed);
+    }
   }
   json.Write();
 
+  int failures = CheckShardSpeedup(results);
   if (const char* baseline = BenchArgValue(argc, argv, "--check-against")) {
     double max_regress = 0.25;
     if (const char* tol = BenchArgValue(argc, argv, "--max-regress")) {
       max_regress = std::strtod(tol, nullptr);
     }
-    return CheckAgainstBaseline(results, baseline, max_regress) == 0 ? 0 : 1;
+    failures += CheckAgainstBaseline(results, baseline, max_regress);
   }
-  return 0;
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Arena: a chunked bump allocator for run-scoped allocation.
+//
+// The simulator's steady-state hot path is already allocation-free (slab
+// pools for events, inline callback buffers), but each *run* still pays
+// container growth: request queues, per-tenant state, merge scratch. An
+// Arena gives every run (or every shard of a sharded run) one private
+// allocation domain: objects are bump-allocated from geometrically growing
+// chunks, never individually freed, and released wholesale when the arena
+// dies or is Reset(). Steady state therefore performs zero heap allocations
+// once the high-water mark is reached, and a Reset() between runs reuses the
+// retained chunks, so repeated sweeps settle to zero allocations per run.
+//
+// ArenaAllocator<T> adapts an Arena to the standard allocator interface so
+// std containers (vector, deque) can draw from it. Deallocation is a no-op
+// except for the trailing-allocation fast path, which lets a growing vector
+// reuse the space it just vacated — the common realloc pattern costs one
+// chunk's worth of memory, not O(log n) abandoned copies.
+
+#ifndef SRC_BASE_ARENA_H_
+#define SRC_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace enoki {
+
+class Arena {
+ public:
+  explicit Arena(size_t first_chunk_bytes = 16 * 1024)
+      : next_chunk_bytes_(first_chunk_bytes) {
+    ENOKI_CHECK(first_chunk_bytes >= 64);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align) {
+    ENOKI_CHECK(align > 0 && (align & (align - 1)) == 0);
+    uintptr_t p = (cursor_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    if (p + bytes > limit_) {
+      NewChunk(bytes + align);
+      p = (cursor_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ = (cursor_ - chunk_base_) + bytes_in_full_chunks_;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // True (and the space is reclaimed) when `p` is the most recent allocation
+  // from the current chunk: the vector-growth fast path.
+  bool TryDeallocateLast(void* p, size_t bytes) {
+    const uintptr_t q = reinterpret_cast<uintptr_t>(p);
+    if (q + bytes == cursor_ && q >= chunk_base_) {
+      cursor_ = q;
+      return true;
+    }
+    return false;
+  }
+
+  // Constructs a T in the arena. The object is never destroyed — arena-owned
+  // types must be trivially destructible or must not care.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-owned objects are never destroyed");
+    return new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  // Abandons every object and retains the largest chunk for reuse, so a
+  // warmed arena services the next run allocation-free.
+  void Reset() {
+    if (chunks_.size() > 1) {
+      // Keep only the newest (largest) chunk.
+      chunks_.erase(chunks_.begin(), chunks_.end() - 1);
+    }
+    if (!chunks_.empty()) {
+      chunk_base_ = cursor_ = reinterpret_cast<uintptr_t>(chunks_.back().data.get());
+      limit_ = chunk_base_ + chunks_.back().bytes;
+    } else {
+      chunk_base_ = cursor_ = limit_ = 0;
+    }
+    bytes_in_full_chunks_ = 0;
+    bytes_used_ = 0;
+  }
+
+  size_t bytes_used() const { return bytes_used_; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t bytes;
+  };
+
+  void NewChunk(size_t min_bytes) {
+    bytes_in_full_chunks_ += cursor_ - chunk_base_;
+    size_t bytes = next_chunk_bytes_;
+    while (bytes < min_bytes) {
+      bytes *= 2;
+    }
+    next_chunk_bytes_ = bytes * 2;  // geometric growth
+    chunks_.push_back(Chunk{std::make_unique<unsigned char[]>(bytes), bytes});
+    chunk_base_ = cursor_ = reinterpret_cast<uintptr_t>(chunks_.back().data.get());
+    limit_ = chunk_base_ + bytes;
+  }
+
+  std::vector<Chunk> chunks_;
+  uintptr_t chunk_base_ = 0;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_chunk_bytes_;
+  size_t bytes_in_full_chunks_ = 0;
+  size_t bytes_used_ = 0;
+};
+
+// Standard-allocator adapter. The arena must outlive every container using
+// it. Copies share the arena (allocators are handles, not owners).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) { ENOKI_CHECK(arena != nullptr); }
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T* p, size_t n) {
+    // No-op unless this was the trailing allocation (vector growth reuse).
+    arena_->TryDeallocateLast(p, n * sizeof(T));
+  }
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const { return arena_ == other.arena_; }
+  bool operator!=(const ArenaAllocator& other) const { return arena_ != other.arena_; }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_ARENA_H_

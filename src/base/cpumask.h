@@ -1,6 +1,7 @@
-// CPU affinity mask supporting up to 128 CPUs (the simulated machines use at
-// most 80). Mirrors the role of cpumask_t in the kernel: task affinity,
-// scheduler placement filters, and per-policy CPU sets.
+// CPU affinity mask supporting up to 256 CPUs (the large sharded-simulation
+// machines model 128- and 256-CPU multi-socket boxes; the paper's own
+// evaluation tops out at 80). Mirrors the role of cpumask_t in the kernel:
+// task affinity, scheduler placement filters, and per-policy CPU sets.
 
 #ifndef SRC_BASE_CPUMASK_H_
 #define SRC_BASE_CPUMASK_H_
@@ -13,7 +14,8 @@ namespace enoki {
 
 class CpuMask {
  public:
-  static constexpr int kMaxCpus = 128;
+  static constexpr int kMaxCpus = 256;
+  static constexpr int kWords = kMaxCpus / 64;
 
   constexpr CpuMask() = default;
 
@@ -49,18 +51,28 @@ class CpuMask {
   }
 
   int Count() const {
-    return __builtin_popcountll(words_[0]) + __builtin_popcountll(words_[1]);
+    int n = 0;
+    for (uint64_t w : words_) {
+      n += __builtin_popcountll(w);
+    }
+    return n;
   }
 
-  bool Empty() const { return words_[0] == 0 && words_[1] == 0; }
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   // First set CPU, or -1 when empty.
   int First() const {
-    if (words_[0] != 0) {
-      return __builtin_ctzll(words_[0]);
-    }
-    if (words_[1] != 0) {
-      return 64 + __builtin_ctzll(words_[1]);
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] != 0) {
+        return i * 64 + __builtin_ctzll(words_[i]);
+      }
     }
     return -1;
   }
@@ -77,17 +89,26 @@ class CpuMask {
 
   CpuMask Intersect(const CpuMask& other) const {
     CpuMask m;
-    m.words_[0] = words_[0] & other.words_[0];
-    m.words_[1] = words_[1] & other.words_[1];
+    for (int i = 0; i < kWords; ++i) {
+      m.words_[i] = words_[i] & other.words_[i];
+    }
     return m;
   }
 
   bool operator==(const CpuMask& other) const {
-    return words_[0] == other.words_[0] && words_[1] == other.words_[1];
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] != other.words_[i]) {
+        return false;
+      }
+    }
+    return true;
   }
 
   uint64_t word(int i) const { return words_[i]; }
 
+  // Rebuilds a mask from its first two words. Callers that persist masks in
+  // two-word records (the record/replay trace format) round-trip the first
+  // 128 CPUs only; the simulated record/replay machines stay within that.
   static CpuMask FromWords(uint64_t w0, uint64_t w1) {
     CpuMask m;
     m.words_[0] = w0;
@@ -96,7 +117,7 @@ class CpuMask {
   }
 
  private:
-  uint64_t words_[2] = {0, 0};
+  uint64_t words_[kWords] = {};
 };
 
 }  // namespace enoki

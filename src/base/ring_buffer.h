@@ -30,10 +30,30 @@ class RingBuffer {
   // Capacity must be a power of two: the hot path indexes with a mask
   // instead of div/mod, and the free-running head/tail arithmetic relies on
   // the slot count dividing the index space evenly. Callers that accept
-  // arbitrary user-supplied sizes round up first (see RoundUpPow2).
+  // arbitrary user-supplied sizes round up first (see RoundUpPow2); callers
+  // with a compile-time size should use CheckedCapacity<N> (or the
+  // ForCapacity<N> factory) so a non-power-of-two constant fails to compile
+  // instead of masking indices wrong at runtime.
   explicit RingBuffer(size_t capacity) : slots_(capacity), mask_(capacity - 1) {
     ENOKI_CHECK_MSG(capacity > 0 && (capacity & (capacity - 1)) == 0,
                     "RingBuffer capacity must be a power of two");
+  }
+
+  // Compile-time capacity validation: CheckedCapacity<48>() is a build
+  // error with a message, not a silently mis-masked ring.
+  template <size_t N>
+  static constexpr size_t CheckedCapacity() {
+    static_assert(N > 0 && (N & (N - 1)) == 0,
+                  "RingBuffer capacity must be a nonzero power of two "
+                  "(use RoundUpPow2 for runtime sizes, or pick 1<<k)");
+    return N;
+  }
+
+  // Constructs a ring whose capacity is validated at compile time; relies on
+  // guaranteed copy elision (the type is neither copyable nor movable).
+  template <size_t N>
+  static RingBuffer ForCapacity() {
+    return RingBuffer(CheckedCapacity<N>());
   }
 
   RingBuffer(const RingBuffer&) = delete;

@@ -55,6 +55,8 @@ const char* RecordTypeName(RecordType type) {
       return "upgrade_rollback";
     case RecordType::kModuleRestart:
       return "module_restart";
+    case RecordType::kShardMerge:
+      return "shard_merge";
   }
   return "unknown";
 }

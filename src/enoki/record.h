@@ -49,6 +49,13 @@ enum class RecordType : uint8_t {
   kUpgrade,
   kUpgradeRollback,
   kModuleRestart,
+  // Sharded-engine epoch merge: one entry per committed cross-shard message
+  // (arg = deliver time, src shard, dst shard, per-shard send seq), emitted
+  // in commit order by AttachShardMergeRecorder. A trace's merge sequence is
+  // part of its determinism contract — byte-identical across
+  // ENOKI_SHARD_THREADS — and replay ignores it like the other runtime
+  // lifecycle markers.
+  kShardMerge,
 };
 
 const char* RecordTypeName(RecordType type);

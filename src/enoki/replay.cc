@@ -234,7 +234,8 @@ void ReplayEngine::PerformCall(EnokiSched* module, const RecordEntry& e, ReplayR
     case RecordType::kUpgrade:
     case RecordType::kUpgradeRollback:
     case RecordType::kModuleRestart:
-      break;  // lifecycle markers; replay runs a single module instance
+    case RecordType::kShardMerge:
+      break;  // lifecycle/engine markers; replay runs a single module instance
   }
   if (check) {
     std::lock_guard<std::mutex> g(result_mu_);

@@ -7,6 +7,7 @@
 
 #include "src/base/log.h"
 #include "src/fault/injector.h"
+#include "src/simkernel/sharded_event_loop.h"
 
 namespace enoki {
 
@@ -1109,6 +1110,24 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next, const Upgr
     }
   }
   return report;
+}
+
+void AttachShardMergeRecorder(ShardedEventLoop& engine, Recorder* recorder) {
+  ENOKI_CHECK(recorder != nullptr);
+  engine.set_merge_observer(
+      [recorder](Time deliver_at, int src, int dst, uint64_t seq) {
+        RecordEntry e;
+        e.type = RecordType::kShardMerge;
+        e.arg[0] = deliver_at;
+        e.arg[1] = static_cast<uint64_t>(src);
+        e.arg[2] = static_cast<uint64_t>(dst);
+        e.arg[3] = seq;
+        // Stamp with the message's simulated delivery time: commits happen
+        // at epoch barriers, outside any core's call context, so the
+        // runtime's usual pre-call SetTime has not run here.
+        recorder->SetTime(deliver_at);
+        recorder->Append(e);
+      });
 }
 
 }  // namespace enoki

@@ -307,6 +307,18 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   uint64_t checkpoint_rejects_ = 0;
 };
 
+class ShardedEventLoop;
+
+// Streams the sharded engine's committed cross-shard merge sequence into an
+// Enoki trace: one kShardMerge entry per committed message, in commit order
+// (arg[0]=deliver time, arg[1]=src shard, arg[2]=dst shard, arg[3]=per-shard
+// send seq). Because the merge order is deterministic by construction, the
+// recorded sequence is byte-identical across ENOKI_SHARD_THREADS — a trace
+// diff is the cheapest way to audit a suspected nondeterminism. Replaces any
+// previously attached merge observer; the recorder must outlive the engine's
+// last commit.
+void AttachShardMergeRecorder(ShardedEventLoop& engine, Recorder* recorder);
+
 }  // namespace enoki
 
 #endif  // SRC_ENOKI_RUNTIME_H_

@@ -10,7 +10,21 @@ Time SimContext::now() const { return core_->now(); }
 int SimContext::cpu() const { return task_->cpu(); }
 
 SchedCore::SchedCore(MachineSpec spec, SimCosts costs)
-    : spec_(spec), costs_(costs), cpus_(static_cast<size_t>(spec.ncpus)) {
+    : spec_(spec),
+      costs_(costs),
+      owned_loop_(std::make_unique<EventLoop>()),
+      loop_(owned_loop_.get()),
+      cpus_(static_cast<size_t>(spec.ncpus)) {
+  ENOKI_CHECK(spec.ncpus > 0 && spec.ncpus <= CpuMask::kMaxCpus);
+  ENOKI_CHECK(spec.nodes > 0 && spec.ncpus % spec.nodes == 0);
+  ENOKI_CHECK(spec.node_of.empty() ||
+              spec.node_of.size() == static_cast<size_t>(spec.ncpus));
+  ENOKI_CHECK(!spec.smt_pairs || spec.ncpus % 2 == 0);
+}
+
+SchedCore::SchedCore(MachineSpec spec, SimCosts costs, EventLoop* loop)
+    : spec_(spec), costs_(costs), loop_(loop), cpus_(static_cast<size_t>(spec.ncpus)) {
+  ENOKI_CHECK(loop != nullptr);
   ENOKI_CHECK(spec.ncpus > 0 && spec.ncpus <= CpuMask::kMaxCpus);
   ENOKI_CHECK(spec.nodes > 0 && spec.ncpus % spec.nodes == 0);
   ENOKI_CHECK(spec.node_of.empty() ||
@@ -48,13 +62,13 @@ void SchedCore::Start() {
     const Duration offset = costs_.tick_ns * static_cast<Duration>(cpu) /
                             static_cast<Duration>(spec_.ncpus);
     cpus_[cpu].tick_event =
-        loop_.ScheduleAfter(costs_.tick_ns + offset, [this, cpu] { TickFired(cpu); });
+        loop_->ScheduleAfter(costs_.tick_ns + offset, [this, cpu] { TickFired(cpu); });
   }
 }
 
 bool SchedCore::RunUntilAllExit(Time deadline) {
-  while (loop_.now() < deadline && live_tasks_ > 0) {
-    if (!loop_.RunOne()) {
+  while (loop_->now() < deadline && live_tasks_ > 0) {
+    if (!loop_->RunOne()) {
       break;
     }
   }
@@ -97,7 +111,7 @@ Task* SchedCore::FindTask(uint64_t pid) const {
 void SchedCore::WakeTaskExternal(Task* t, bool sync, int from_cpu) {
   ENOKI_CHECK(t->state_ == TaskState::kBlocked);
   if (t->sleep_event_ != kInvalidEventId) {
-    loop_.Cancel(t->sleep_event_);
+    loop_->Cancel(t->sleep_event_);
     t->sleep_event_ = kInvalidEventId;
   }
   WakeTaskInternal(t, sync, from_cpu, /*is_new=*/false);
@@ -106,7 +120,7 @@ void SchedCore::WakeTaskExternal(Task* t, bool sync, int from_cpu) {
 void SchedCore::WakeTaskInternal(Task* t, bool sync, int from_cpu, bool is_new) {
   ENOKI_CHECK(t->state_ == TaskState::kBlocked || t->state_ == TaskState::kCreated);
   t->state_ = TaskState::kRunnable;
-  t->last_runnable_at_ = loop_.now();
+  t->last_runnable_at_ = loop_->now();
   t->wake_latency_pending_ = true;
   ++t->wake_count_;
 
@@ -130,7 +144,7 @@ void SchedCore::WakeTaskInternal(Task* t, bool sync, int from_cpu, bool is_new) 
     }
     if (!c.kick_pending) {
       c.kick_pending = true;
-      loop_.ScheduleAfter(lat, [this, target] {
+      loop_->ScheduleAfter(lat, [this, target] {
         cpus_[target].kick_pending = false;
         if (cpus_[target].current == nullptr && !cpus_[target].in_switch) {
           Schedule(target);
@@ -176,7 +190,7 @@ void SchedCore::KickCpu(int cpu, int from_cpu) {
     }
     if (!c.kick_pending) {
       c.kick_pending = true;
-      loop_.ScheduleAfter(lat, [this, cpu] {
+      loop_->ScheduleAfter(lat, [this, cpu] {
         cpus_[cpu].kick_pending = false;
         if (cpus_[cpu].current == nullptr && !cpus_[cpu].in_switch) {
           Schedule(cpu);
@@ -187,8 +201,20 @@ void SchedCore::KickCpu(int cpu, int from_cpu) {
   }
   c.need_resched = true;
   const Duration lat = (from_cpu >= 0 && from_cpu != cpu) ? costs_.ipi_ns : 0;
-  loop_.ScheduleAfter(lat, [this, cpu] {
+  const Time arrival = loop_->now() + lat;
+  if (c.ipi_inflight_at == arrival) {
+    // Batched wakeup delivery: a resched IPI arriving at this exact instant
+    // is already in flight, and a duplicate would re-run the identical
+    // preempt check (need_resched is already set) and no-op. Elide it.
+    ++coalesced_ipis_;
+    return;
+  }
+  c.ipi_inflight_at = arrival;
+  loop_->ScheduleAfter(lat, [this, cpu, arrival] {
     CpuState& cs = cpus_[cpu];
+    if (cs.ipi_inflight_at == arrival) {
+      cs.ipi_inflight_at = kTimeMax;
+    }
     if (cs.need_resched && cs.current != nullptr && !cs.in_switch) {
       cs.need_resched = false;
       PreemptCurrent(cpu);
@@ -197,7 +223,7 @@ void SchedCore::KickCpu(int cpu, int from_cpu) {
 }
 
 EventId SchedCore::ArmClassTimer(int cpu, Duration delay, SchedClass* cls) {
-  return loop_.ScheduleAfter(delay, [this, cpu, cls] {
+  return loop_->ScheduleAfter(delay, [this, cpu, cls] {
     cls->TimerFired(cpu);
     CpuState& c = cpus_[cpu];
     if (c.need_resched && c.current != nullptr && !c.in_switch) {
@@ -210,7 +236,7 @@ EventId SchedCore::ArmClassTimer(int cpu, Duration delay, SchedClass* cls) {
 Duration SchedCore::TaskRuntime(const Task* t) const {
   Duration rt = t->total_runtime_;
   if (t->state_ == TaskState::kRunning) {
-    rt += loop_.now() - t->run_segment_start_;
+    rt += loop_->now() - t->run_segment_start_;
   }
   return rt;
 }
@@ -220,7 +246,7 @@ Duration SchedCore::IdleExitCost(int cpu) const {
   if (c.current != nullptr || c.in_switch) {
     return 0;
   }
-  const Duration idle_for = loop_.now() - c.idle_since;
+  const Duration idle_for = loop_->now() - c.idle_since;
   if (idle_for >= costs_.deep_idle_threshold_ns) {
     return costs_.deep_idle_exit_ns;
   }
@@ -259,7 +285,7 @@ void SchedCore::Schedule(int cpu) {
     next = PickNext(cpu);
   }
   if (next == nullptr) {
-    c.idle_since = loop_.now();
+    c.idle_since = loop_->now();
     c.pending_charge = 0;
     return;
   }
@@ -272,7 +298,7 @@ void SchedCore::Dispatch(int cpu, Task* next) {
   c.in_switch = true;
   ++context_switches_;
   const Duration lat = costs_.context_switch_ns + TakeCharge(cpu);
-  loop_.ScheduleAfter(lat, [this, cpu, next] { FinishSwitch(cpu, next); });
+  loop_->ScheduleAfter(lat, [this, cpu, next] { FinishSwitch(cpu, next); });
 }
 
 void SchedCore::FinishSwitch(int cpu, Task* next) {
@@ -283,12 +309,12 @@ void SchedCore::FinishSwitch(int cpu, Task* next) {
   c.current = next;
   next->state_ = TaskState::kRunning;
   next->cpu_ = cpu;
-  next->run_segment_start_ = loop_.now();
+  next->run_segment_start_ = loop_->now();
   next->starvation_flagged_ = false;  // got the CPU: new runnable episode
   ++next->switch_in_count_;
   if (next->wake_latency_pending_) {
     next->wake_latency_pending_ = false;
-    const Duration lat = loop_.now() - next->last_runnable_at_;
+    const Duration lat = loop_->now() - next->last_runnable_at_;
     wake_latency_.Record(lat);
     if (wake_latency_hook_) {
       wake_latency_hook_(next, lat);
@@ -313,9 +339,9 @@ void SchedCore::RunCurrent(int cpu) {
       return;
     }
     if (t->remaining_compute_ > 0) {
-      t->compute_started_at_ = loop_.now();
+      t->compute_started_at_ = loop_->now();
       t->compute_event_ =
-          loop_.ScheduleAfter(t->remaining_compute_, [this, cpu, t] { OnComputeDone(cpu, t); });
+          loop_->ScheduleAfter(t->remaining_compute_, [this, cpu, t] { OnComputeDone(cpu, t); });
       return;
     }
     SimContext ctx(this, t);
@@ -360,16 +386,16 @@ void SchedCore::OnComputeDone(int cpu, Task* t) {
 
 void SchedCore::StopCompute(Task* t) {
   if (t->compute_event_ != kInvalidEventId) {
-    loop_.Cancel(t->compute_event_);
+    loop_->Cancel(t->compute_event_);
     t->compute_event_ = kInvalidEventId;
-    const Duration elapsed = loop_.now() - t->compute_started_at_;
+    const Duration elapsed = loop_->now() - t->compute_started_at_;
     t->remaining_compute_ -= std::min(t->remaining_compute_, elapsed);
   }
 }
 
 void SchedCore::AccrueRuntime(Task* t) {
-  t->total_runtime_ += loop_.now() - t->run_segment_start_;
-  t->run_segment_start_ = loop_.now();
+  t->total_runtime_ += loop_->now() - t->run_segment_start_;
+  t->run_segment_start_ = loop_->now();
 }
 
 void SchedCore::PreemptCurrent(int cpu) {
@@ -402,7 +428,7 @@ void SchedCore::SleepCurrent(int cpu, Duration d) {
   AccrueRuntime(t);
   t->state_ = TaskState::kBlocked;
   t->sched_class_->DequeueTask(cpu, t, DequeueReason::kBlocked);
-  t->sleep_event_ = loop_.ScheduleAfter(d, [this, t] {
+  t->sleep_event_ = loop_->ScheduleAfter(d, [this, t] {
     t->sleep_event_ = kInvalidEventId;
     WakeTaskInternal(t, /*sync=*/false, /*from_cpu=*/t->cpu_, /*is_new=*/false);
   });
@@ -441,14 +467,14 @@ void SchedCore::DoWake(WaitQueue* wq, bool sync, int from_cpu) {
     return;
   }
   if (w->sleep_event_ != kInvalidEventId) {
-    loop_.Cancel(w->sleep_event_);
+    loop_->Cancel(w->sleep_event_);
     w->sleep_event_ = kInvalidEventId;
   }
   WakeTaskInternal(w, sync, from_cpu, /*is_new=*/false);
 }
 
 void SchedCore::CheckStarvation() {
-  const Time now = loop_.now();
+  const Time now = loop_->now();
   for (const auto& tp : tasks_) {
     Task* t = tp.get();
     if (t->state_ != TaskState::kRunnable || t->starvation_flagged_) {
@@ -483,7 +509,7 @@ void SchedCore::TickFired(int cpu) {
     // so classes get a balance/steal opportunity even with no local events.
     Schedule(cpu);
   }
-  c.tick_event = loop_.ScheduleAfter(costs_.tick_ns, [this, cpu] { TickFired(cpu); });
+  c.tick_event = loop_->ScheduleAfter(costs_.tick_ns, [this, cpu] { TickFired(cpu); });
 }
 
 void SchedCore::SetTaskPolicy(Task* t, int policy) {
@@ -543,6 +569,49 @@ void SchedCore::SetTaskNice(Task* t, int nice) {
   ENOKI_CHECK(nice >= kMinNice && nice <= kMaxNice);
   t->nice_ = nice;
   t->sched_class_->PrioChanged(t);
+}
+
+namespace {
+
+// FNV-1a, 64-bit. Integer-only so the digest is bit-exact across platforms.
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t SchedCore::Fingerprint() const {
+  uint64_t h = 14695981039346656037ull;
+  h = FnvMix(h, loop_->now());
+  h = FnvMix(h, loop_->events_executed());
+  h = FnvMix(h, context_switches_);
+  h = FnvMix(h, coalesced_ipis_);
+  h = FnvMix(h, live_tasks_);
+  h = FnvMix(h, pick_errors_);
+  for (const CpuState& c : cpus_) {
+    h = FnvMix(h, c.current != nullptr ? c.current->pid() : 0);
+    h = FnvMix(h, (c.in_switch ? 1u : 0u) | (c.need_resched ? 2u : 0u) |
+                      (c.kick_pending ? 4u : 0u));
+    h = FnvMix(h, c.idle_ticks);
+  }
+  for (const auto& tp : tasks_) {
+    const Task* t = tp.get();
+    h = FnvMix(h, static_cast<uint64_t>(t->state()));
+    h = FnvMix(h, static_cast<uint64_t>(t->cpu()));
+    h = FnvMix(h, t->total_runtime());
+    h = FnvMix(h, t->wake_count());
+    h = FnvMix(h, t->switch_in_count());
+  }
+  h = FnvMix(h, wake_latency_.count());
+  h = FnvMix(h, wake_latency_.min());
+  h = FnvMix(h, wake_latency_.max());
+  h = FnvMix(h, wake_latency_.Percentile(50.0));
+  h = FnvMix(h, wake_latency_.Percentile(99.0));
+  return h;
 }
 
 void SchedCore::SetTaskAffinity(Task* t, const CpuMask& mask) {

@@ -84,11 +84,42 @@ struct MachineSpec {
     s.smt_pairs = true;
     return s;
   }
+
+  // Large multi-socket boxes for the sharded-engine scaling story. The
+  // paper's evaluation tops out at 80 cores; these model the datacenter-class
+  // machines the ROADMAP targets.
+  static MachineSpec FourNode128() { return MachineSpec{128, 4, "4-node NUMA (4x32 cores)"}; }
+  static MachineSpec EightNode256() { return MachineSpec{256, 8, "8-node NUMA (8x32 cores)"}; }
+
+  // Carves one shard (a contiguous group of NUMA nodes) out of this machine.
+  // Sharded simulations run one SchedCore per shard: shard `shard` of
+  // `nshards` models CPUs [shard*ncpus/nshards, (shard+1)*ncpus/nshards) of
+  // the full box, renumbered from 0. Requires nodes % nshards == 0 so shard
+  // boundaries coincide with NUMA-node boundaries (no sched domain spans two
+  // shards).
+  MachineSpec ShardSpec(int shard, int nshards) const {
+    ENOKI_CHECK(nshards > 0 && shard >= 0 && shard < nshards);
+    ENOKI_CHECK(nodes % nshards == 0 && ncpus % nshards == 0);
+    ENOKI_CHECK(node_of.empty());  // explicit maps would need renumbering
+    MachineSpec s;
+    s.ncpus = ncpus / nshards;
+    s.nodes = nodes / nshards;
+    s.smt_pairs = smt_pairs;
+    s.name = name + " [shard " + std::to_string(shard) + "/" + std::to_string(nshards) + "]";
+    return s;
+  }
 };
 
 class SchedCore {
  public:
   SchedCore(MachineSpec spec, SimCosts costs);
+
+  // Runs this core on an externally owned event loop (one shard of a
+  // ShardedEventLoop). The loop must outlive the core. All scheduling events
+  // land on `loop`; cross-shard traffic is the caller's business (see
+  // ShardedEventLoop::PostCross).
+  SchedCore(MachineSpec spec, SimCosts costs, EventLoop* loop);
+
   ~SchedCore();
 
   SchedCore(const SchedCore&) = delete;
@@ -109,8 +140,8 @@ class SchedCore {
   // Arms per-CPU ticks. Must be called once before running.
   void Start();
 
-  void RunFor(Duration d) { loop_.RunUntil(loop_.now() + d); }
-  void RunUntil(Time t) { loop_.RunUntil(t); }
+  void RunFor(Duration d) { loop_->RunUntil(loop_->now() + d); }
+  void RunUntil(Time t) { loop_->RunUntil(t); }
 
   // Runs until every created task has exited, or `deadline` passes. Returns
   // true if all tasks exited.
@@ -127,8 +158,8 @@ class SchedCore {
       }
       return true;
     };
-    while (loop_.now() < deadline && !all_dead()) {
-      if (!loop_.RunOne()) {
+    while (loop_->now() < deadline && !all_dead()) {
+      if (!loop_->RunOne()) {
         break;
       }
     }
@@ -175,7 +206,7 @@ class SchedCore {
   // Arms a one-shot per-CPU policy timer (hrtimer analog); `cls->TimerFired`
   // runs on expiry. Returns an id usable with CancelClassTimer.
   EventId ArmClassTimer(int cpu, Duration delay, SchedClass* cls);
-  void CancelClassTimer(EventId id) { loop_.Cancel(id); }
+  void CancelClassTimer(EventId id) { loop_->Cancel(id); }
 
   // Runtime of a task including its in-progress on-CPU segment.
   Duration TaskRuntime(const Task* t) const;
@@ -194,8 +225,8 @@ class SchedCore {
 
   // ---- Introspection ----
 
-  EventLoop& loop() { return loop_; }
-  Time now() const { return loop_.now(); }
+  EventLoop& loop() { return *loop_; }
+  Time now() const { return loop_->now(); }
   int ncpus() const { return spec_.ncpus; }
   int NodeOf(int cpu) const { return spec_.NodeOfCpu(cpu); }
   int SiblingOf(int cpu) const { return spec_.SiblingOfCpu(cpu); }
@@ -221,6 +252,7 @@ class SchedCore {
   bool CpuKickPending(int cpu) const { return cpus_[cpu].kick_pending; }
 
   uint64_t context_switches() const { return context_switches_; }
+  uint64_t coalesced_ipis() const { return coalesced_ipis_; }
   uint64_t live_task_count() const { return live_tasks_; }
   const LatencyRecorder& wake_latency() const { return wake_latency_; }
   LatencyRecorder& mutable_wake_latency() { return wake_latency_; }
@@ -234,6 +266,13 @@ class SchedCore {
     wake_latency_hook_ = std::move(hook);
   }
 
+  // Order-sensitive digest of this core's observable state: simulated time,
+  // events executed, context switches, per-CPU occupancy, per-task progress,
+  // and the wake-latency distribution. Two runs that made identical
+  // scheduling decisions in identical order produce identical fingerprints;
+  // the sharded determinism tests compare these across thread counts.
+  uint64_t Fingerprint() const;
+
  private:
   friend class SimContext;
 
@@ -242,6 +281,11 @@ class SchedCore {
     bool in_switch = false;
     bool need_resched = false;
     bool kick_pending = false;
+    // Arrival time of the resched IPI currently in flight to this (busy)
+    // CPU, or kTimeMax when none. Used to coalesce same-tick wakeups: a
+    // second IPI arriving at the identical instant would re-run the exact
+    // same preempt check, so it is elided (batched wakeup delivery).
+    Time ipi_inflight_at = kTimeMax;
     Time idle_since = 0;
     Duration pending_charge = 0;
     uint64_t idle_ticks = 0;
@@ -278,13 +322,17 @@ class SchedCore {
 
   const MachineSpec spec_;
   const SimCosts costs_;
-  EventLoop loop_;
+  // The loop events land on. Owned by default; a sharded run hands in one
+  // shard's loop instead (owned_loop_ stays null).
+  std::unique_ptr<EventLoop> owned_loop_;
+  EventLoop* loop_;
   std::vector<CpuState> cpus_;
   std::vector<SchedClass*> classes_;  // priority order
   std::vector<std::unique_ptr<Task>> tasks_;  // index pid-1: the pid table
   uint64_t next_pid_ = 1;
   uint64_t live_tasks_ = 0;
   uint64_t context_switches_ = 0;
+  uint64_t coalesced_ipis_ = 0;
   uint64_t pick_errors_ = 0;
   bool ticks_enabled_ = true;
   bool started_ = false;

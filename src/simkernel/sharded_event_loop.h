@@ -1,0 +1,374 @@
+// ShardedEventLoop: conservative parallel discrete-event engine with a
+// deterministic cross-shard merge.
+//
+// One simulation run is split into K shards, each owning a private EventLoop
+// (timing wheel + slab pool) and, by convention, one NUMA-node group of the
+// simulated machine (see MachineSpec::ShardSpec). Shards execute epochs in
+// parallel on up to T host threads; cross-shard interactions (wakeup on a
+// remote node, steal, IPI-like pulses) go through bounded per-shard SPSC
+// mailboxes and are committed between epochs by a single deterministic merge
+// rule. The headline property is determinism-by-construction:
+//
+//   ENOKI_SHARD_THREADS=1..T produces byte-identical runs.
+//
+// Epoch protocol (conservative PDES with lookahead = epoch_ns):
+//
+//   1. All shards run independently to a shared horizon H' = H + epoch_ns.
+//      Within the window each shard is strictly single-threaded and
+//      deterministic on its own loop.
+//   2. Cross-shard messages carry latency >= epoch_ns, so a message sent at
+//      t in [H, H'] delivers at t + latency >= H + epoch_ns >= H' — never
+//      inside the window that produced it. Shards therefore cannot observe
+//      each other mid-epoch, and the parallel execution is race-free by
+//      construction (each loop is touched by exactly one thread per epoch;
+//      the epoch barrier orders the hand-off).
+//   3. At the barrier, all outboxes are drained and committed in sorted
+//      (deliver_time, src_shard, src_seq) order. The sort key is a total
+//      order independent of which thread ran which shard when, so the
+//      insertion sequence numbers the destination loops assign — and hence
+//      all downstream tie-breaking — are identical for every T.
+//
+// When every shard is quiet the horizon leaps directly to the global next
+// event time (minus one window) instead of stepping epoch-by-epoch; this is
+// safe because no event exists in the skipped span, and it makes idle
+// stretches free.
+//
+// With K=1 the engine degrades to a zero-overhead forwarder around the plain
+// EventLoop — benchmarks comparing "sharded vs unsharded" compare against
+// the true single-threaded hot path.
+
+#ifndef SRC_SIMKERNEL_SHARDED_EVENT_LOOP_H_
+#define SRC_SIMKERNEL_SHARDED_EVENT_LOOP_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/ring_buffer.h"
+#include "src/base/time.h"
+#include "src/simkernel/event_loop.h"
+
+namespace enoki {
+
+class ShardedEventLoop {
+ public:
+  struct Options {
+    int nshards = 1;
+    // Lookahead: epoch width and the minimum cross-shard latency. 20 us is
+    // several times the simulated IPI + idle-exit cost, so remote wakeups
+    // modelled through PostCross stay physically plausible.
+    Duration epoch_ns = 20'000;
+    // Host threads. 0 = take ENOKI_SHARD_THREADS from the environment
+    // (default 1). Clamped to [1, nshards]. Thread count never affects
+    // simulation output, only wall-clock.
+    int threads = 0;
+    // Per-shard outbox capacity (messages per epoch per shard). Power of
+    // two; overflow is a checked error, not a drop — dropping would make
+    // output depend on timing.
+    size_t mailbox_slots = RingBuffer<int>::CheckedCapacity<4096>();
+  };
+
+  explicit ShardedEventLoop(Options opts) : opts_(opts) {
+    ENOKI_CHECK(opts.nshards >= 1);
+    ENOKI_CHECK(opts.epoch_ns > 0);
+    threads_ = ResolveThreads(opts.threads, opts.nshards);
+    shards_.reserve(static_cast<size_t>(opts.nshards));
+    for (int i = 0; i < opts.nshards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(opts.mailbox_slots));
+    }
+    // Workers own a static shard partition (worker j runs shards with
+    // index % threads == j+1; the calling thread runs index % threads == 0).
+    // Static partitioning keeps the barrier logic minimal and is fair when
+    // shards are symmetric, which NUMA-node shards are.
+    for (int j = 1; j < threads_; ++j) {
+      workers_.emplace_back([this, j] { WorkerMain(j); });
+    }
+  }
+
+  ~ShardedEventLoop() {
+    stop_.store(true, std::memory_order_release);
+    epoch_gen_.fetch_add(1, std::memory_order_release);  // wake waiters
+    for (auto& w : workers_) {
+      w.join();
+    }
+  }
+
+  ShardedEventLoop(const ShardedEventLoop&) = delete;
+  ShardedEventLoop& operator=(const ShardedEventLoop&) = delete;
+
+  int nshards() const { return opts_.nshards; }
+  int threads() const { return threads_; }
+  Duration epoch_ns() const { return opts_.epoch_ns; }
+  EventLoop& shard(int i) { return shards_[static_cast<size_t>(i)]->loop; }
+
+  // Committed horizon: no shard has unexecuted events at or before this time.
+  Time now() const { return now_; }
+
+  // Sends work across a shard boundary: `fn` runs on shard `dst`'s loop at
+  // (send time + latency). Must be called from shard `src`'s execution
+  // context (its callbacks), which is single-threaded per epoch. Cross-shard
+  // latency must be >= epoch_ns — that inequality is the entire correctness
+  // argument for running shards in parallel. Same-shard posts have no floor
+  // and schedule directly.
+  void PostCross(int src, int dst, Duration latency, std::function<void()> fn) {
+    ENOKI_CHECK(src >= 0 && src < opts_.nshards && dst >= 0 && dst < opts_.nshards);
+    Shard& s = *shards_[static_cast<size_t>(src)];
+    if (dst == src) {
+      s.loop.ScheduleAfter(latency, std::move(fn));
+      return;
+    }
+    ENOKI_CHECK_MSG(latency >= opts_.epoch_ns,
+                    "cross-shard latency below the epoch lookahead bound");
+    if (opts_.nshards == 1) {
+      s.loop.ScheduleAfter(latency, std::move(fn));
+      return;
+    }
+    CrossMsg m;
+    m.deliver_at = s.loop.now() + latency;
+    m.src = src;
+    m.dst = dst;
+    m.seq = ++s.out_seq;
+    m.fn = std::move(fn);
+    ENOKI_CHECK_MSG(s.outbox.Push(std::move(m)), "shard outbox overflow (bounded mailbox)");
+  }
+
+  // Runs all events with time <= deadline; on return now() == deadline.
+  void RunUntil(Time deadline) {
+    if (opts_.nshards == 1) {
+      shards_[0]->loop.RunUntil(deadline);
+      now_ = deadline;
+      return;
+    }
+    while (now_ < deadline) {
+      const Time gmin = GlobalNextTime();
+      if (gmin > deadline) {
+        break;
+      }
+      RunEpoch(EpochTarget(gmin, deadline));
+    }
+    if (now_ < deadline) {
+      // No events in (now_, deadline]: just advance every clock.
+      for (auto& sh : shards_) {
+        sh->loop.RunUntil(deadline);
+      }
+      now_ = deadline;
+    }
+  }
+
+  void RunUntilIdle() {
+    if (opts_.nshards == 1) {
+      shards_[0]->loop.RunUntilIdle();
+      now_ = shards_[0]->loop.now();
+      return;
+    }
+    for (;;) {
+      const Time gmin = GlobalNextTime();
+      if (gmin == kTimeMax) {
+        return;
+      }
+      RunEpoch(EpochTarget(gmin, kTimeMax));
+    }
+  }
+
+  bool HasWork() const {
+    for (const auto& sh : shards_) {
+      if (sh->loop.HasWork()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t events_executed() const {
+    uint64_t n = 0;
+    for (const auto& sh : shards_) {
+      n += sh->loop.events_executed();
+    }
+    return n;
+  }
+
+  uint64_t cross_messages() const { return cross_messages_; }
+  uint64_t epochs() const { return epochs_; }
+
+  // FNV-1a digest of the committed merge order: every cross-shard message's
+  // (deliver_time, src, dst, seq) in commit order. Identical across thread
+  // counts by construction; the determinism tests assert exactly that.
+  uint64_t MergeFingerprint() const { return merge_hash_; }
+
+  // Observer invoked for each committed cross-shard message in commit order;
+  // used to record the merge sequence into an Enoki trace (see
+  // AttachShardMergeRecorder in enoki/runtime.h).
+  using MergeObserver = std::function<void(Time deliver_at, int src, int dst, uint64_t seq)>;
+  void set_merge_observer(MergeObserver obs) { merge_observer_ = std::move(obs); }
+
+  static int ResolveThreads(int requested, int nshards) {
+    int t = requested;
+    if (t <= 0) {
+      const char* env = std::getenv("ENOKI_SHARD_THREADS");
+      t = (env != nullptr) ? std::atoi(env) : 1;
+    }
+    return std::clamp(t, 1, nshards);
+  }
+
+ private:
+  struct CrossMsg {
+    Time deliver_at = 0;
+    int src = 0;
+    int dst = 0;
+    uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  struct Shard {
+    explicit Shard(size_t mailbox_slots) : outbox(mailbox_slots) {}
+    EventLoop loop;
+    RingBuffer<CrossMsg> outbox;  // producer: shard thread; consumer: barrier
+    uint64_t out_seq = 0;
+  };
+
+  // Earliest pending event time across all shards. Mailboxes are always
+  // empty here (drained at every barrier), so shard loops are the whole
+  // picture.
+  Time GlobalNextTime() {
+    Time t = kTimeMax;
+    for (auto& sh : shards_) {
+      t = std::min(t, sh->loop.PeekTime());
+    }
+    return t;
+  }
+
+  // Next horizon. The window must be at most epoch_ns wide so the lookahead
+  // argument holds; when the next event is beyond one window the start leaps
+  // to (gmin - epoch_ns), which is safe because the skipped span is empty.
+  Time EpochTarget(Time gmin, Time deadline) const {
+    Time start = now_;
+    if (gmin > opts_.epoch_ns && gmin - opts_.epoch_ns > start) {
+      start = gmin - opts_.epoch_ns;
+    }
+    return std::min(start + opts_.epoch_ns, deadline);
+  }
+
+  void RunEpoch(Time target) {
+    ++epochs_;
+    if (threads_ == 1) {
+      for (auto& sh : shards_) {
+        sh->loop.RunUntil(target);
+      }
+    } else {
+      target_ = target;
+      // Release on the generation bump publishes target_ (and all prior
+      // shard state) to workers; their acquire load pairs with it.
+      epoch_gen_.fetch_add(1, std::memory_order_release);
+      RunOwnedShards(/*worker=*/0, target);
+      // Workers' release increments of done_workers_ pair with this acquire
+      // loop: once observed, all their shard mutations and outbox pushes
+      // happen-before the merge below.
+      while (done_workers_.load(std::memory_order_acquire) < threads_ - 1) {
+        std::this_thread::yield();
+      }
+      done_workers_.store(0, std::memory_order_relaxed);
+    }
+    CommitMailboxes(target);
+    now_ = target;
+  }
+
+  void RunOwnedShards(int worker, Time target) {
+    for (int i = worker; i < opts_.nshards; i += threads_) {
+      shards_[static_cast<size_t>(i)]->loop.RunUntil(target);
+    }
+  }
+
+  void WorkerMain(int worker) {
+    uint64_t seen = 0;
+    for (;;) {
+      const uint64_t gen = epoch_gen_.load(std::memory_order_acquire);
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (gen == seen) {
+        std::this_thread::yield();
+        continue;
+      }
+      seen = gen;
+      RunOwnedShards(worker, target_);
+      done_workers_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  // Drains every outbox and commits the messages in (deliver_at, src, seq)
+  // order — a total order (seq is unique per src) that does not depend on
+  // which thread ran which shard, so destination-loop insertion sequence
+  // numbers are reproducible for any thread count.
+  void CommitMailboxes(Time target) {
+    scratch_.clear();
+    for (auto& sh : shards_) {
+      while (auto m = sh->outbox.Pop()) {
+        scratch_.push_back(std::move(*m));
+      }
+    }
+    if (scratch_.empty()) {
+      return;
+    }
+    std::sort(scratch_.begin(), scratch_.end(), [](const CrossMsg& a, const CrossMsg& b) {
+      if (a.deliver_at != b.deliver_at) {
+        return a.deliver_at < b.deliver_at;
+      }
+      if (a.src != b.src) {
+        return a.src < b.src;
+      }
+      return a.seq < b.seq;
+    });
+    for (CrossMsg& m : scratch_) {
+      // Lookahead held: the message cannot land inside the epoch that sent it.
+      ENOKI_CHECK(m.deliver_at >= target);
+      merge_hash_ = MixMerge(merge_hash_, m);
+      ++cross_messages_;
+      if (merge_observer_) {
+        merge_observer_(m.deliver_at, m.src, m.dst, m.seq);
+      }
+      shards_[static_cast<size_t>(m.dst)]->loop.ScheduleAt(m.deliver_at, std::move(m.fn));
+    }
+  }
+
+  static uint64_t MixMerge(uint64_t h, const CrossMsg& m) {
+    auto mix = [](uint64_t acc, uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        acc ^= (v >> (i * 8)) & 0xff;
+        acc *= 1099511628211ull;
+      }
+      return acc;
+    };
+    h = mix(h, m.deliver_at);
+    h = mix(h, static_cast<uint64_t>(m.src));
+    h = mix(h, static_cast<uint64_t>(m.dst));
+    h = mix(h, m.seq);
+    return h;
+  }
+
+  const Options opts_;
+  int threads_ = 1;
+  Time now_ = 0;
+  uint64_t epochs_ = 0;
+  uint64_t cross_messages_ = 0;
+  uint64_t merge_hash_ = 14695981039346656037ull;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<CrossMsg> scratch_;  // reused merge buffer
+  MergeObserver merge_observer_;
+
+  // Epoch barrier state. target_ is plain: it is published by the release
+  // bump of epoch_gen_ and read only after the paired acquire.
+  Time target_ = 0;
+  std::atomic<uint64_t> epoch_gen_{0};
+  std::atomic<int> done_workers_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_SIMKERNEL_SHARDED_EVENT_LOOP_H_

@@ -1,0 +1,333 @@
+// Open-loop multi-tenant workload for the large sharded machines.
+//
+// The ROADMAP's datacenter story: a 128- or 256-CPU multi-socket box serving
+// many independent tenants, each an open-loop Poisson request stream handled
+// by a per-NUMA-node worker pool, with a configurable fraction of requests
+// handing off to a *remote* node on completion (cross-node RPC fan-out).
+//
+// The simulated workload is defined over G tenant groups, G = machine.nodes,
+// and is the *same simulation* under both engines:
+//
+//  - sharded   (nshards == G): one SchedCore per NUMA node, each on its own
+//    ShardedEventLoop shard; remote handoffs travel through PostCross
+//    mailboxes and commit at epoch barriers in deterministic merge order.
+//  - unsharded (nshards == 1): one SchedCore for the whole box on a single
+//    loop (the engine's K=1 fast path is a plain EventLoop); group g's
+//    workers are pinned to node g's CPUs and handoffs are self-posts with
+//    identical latency.
+//
+// This makes "sharded vs unsharded" in bench_simperf a true engine
+// comparison: same tenants, same service processes, same handoff topology.
+//
+// Allocation discipline (arena-per-run): each group's request queue is a
+// fixed-capacity ring drawn from a per-group Arena; steady state performs
+// zero heap allocations — cross-shard closures are sized for std::function's
+// small-object buffer and the loop's slab pools handle events.
+
+#ifndef SRC_WORKLOADS_MULTITENANT_H_
+#define SRC_WORKLOADS_MULTITENANT_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/arena.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/sched/cfs.h"
+#include "src/simkernel/bodies.h"
+#include "src/simkernel/sched_core.h"
+#include "src/simkernel/sharded_event_loop.h"
+
+namespace enoki {
+
+struct MultitenantConfig {
+  MachineSpec machine = MachineSpec::FourNode128();
+  // 1 (whole box on one loop) or machine.nodes (one shard per NUMA node).
+  int nshards = 4;
+  int shard_threads = 0;  // 0 = ENOKI_SHARD_THREADS (default 1)
+  Duration epoch_ns = 20'000;
+
+  int tenants_per_group = 16;       // Poisson streams per NUMA node
+  double rate_per_tenant = 4'000.0; // requests/sec per tenant
+  Duration service_mean = Microseconds(10);
+  int workers_per_group = 48;
+  // Fraction of completions that spawn a follow-up request on another node.
+  double remote_fraction = 0.05;
+  Duration remote_latency = Microseconds(25);  // must be >= epoch_ns
+
+  size_t queue_capacity = 1 << 15;  // per-group request ring (bounded)
+  Duration warmup = Milliseconds(20);
+  Duration runtime = Milliseconds(200);
+  uint64_t seed = 11;
+};
+
+struct MultitenantResult {
+  uint64_t completed = 0;
+  uint64_t handoffs = 0;        // cross-node follow-ups issued
+  uint64_t cross_messages = 0;  // committed through shard mailboxes
+  uint64_t events = 0;
+  uint64_t epochs = 0;
+  Duration p50 = 0;
+  Duration p99 = 0;
+  // Digest of every shard core's state plus the merge order. Byte-identical
+  // across ENOKI_SHARD_THREADS values for a fixed shard count.
+  uint64_t fingerprint = 0;
+};
+
+class MultitenantSim {
+ public:
+  explicit MultitenantSim(MultitenantConfig cfg)
+      : cfg_(cfg),
+        engine_(ShardedEventLoop::Options{cfg.nshards, cfg.epoch_ns, cfg.shard_threads,
+                                          RingBuffer<int>::CheckedCapacity<65536>()}) {
+    const int ngroups = cfg_.machine.nodes;
+    ENOKI_CHECK_MSG(cfg_.nshards == 1 || cfg_.nshards == ngroups,
+                    "nshards must be 1 (unsharded) or machine.nodes (per-node shards)");
+    ENOKI_CHECK(cfg_.remote_latency >= cfg_.epoch_ns);
+    const bool sharded = cfg_.nshards > 1;
+    const int cpus_per_group = cfg_.machine.ncpus / ngroups;
+
+    if (sharded) {
+      for (int s = 0; s < ngroups; ++s) {
+        cores_.push_back(std::make_unique<SchedCore>(cfg_.machine.ShardSpec(s, ngroups),
+                                                     SimCosts{}, &engine_.shard(s)));
+      }
+    } else {
+      cores_.push_back(
+          std::make_unique<SchedCore>(cfg_.machine, SimCosts{}, &engine_.shard(0)));
+    }
+    for (auto& core : cores_) {
+      cfs_.push_back(std::make_unique<CfsClass>());
+      policies_.push_back(core->RegisterClass(cfs_.back().get()));
+    }
+
+    Rng seeder(cfg_.seed);
+    for (int g = 0; g < ngroups; ++g) {
+      auto grp = std::make_unique<Group>(cfg_.queue_capacity);
+      grp->index = g;
+      grp->shard = sharded ? g : 0;
+      grp->core = cores_[static_cast<size_t>(sharded ? g : 0)].get();
+      grp->policy = policies_[static_cast<size_t>(sharded ? g : 0)];
+      grp->first_cpu = sharded ? 0 : g * cpus_per_group;
+      grp->rng = std::make_unique<Rng>(seeder.Next());
+      grp->measure_from = cfg_.warmup;
+      groups_.push_back(std::move(grp));
+    }
+
+    for (auto& grp : groups_) {
+      SpawnGroup(*grp, cpus_per_group, seeder);
+    }
+  }
+
+  MultitenantResult Run() {
+    for (auto& core : cores_) {
+      core->Start();
+    }
+    engine_.RunUntil(cfg_.warmup);
+    engine_.RunUntil(cfg_.warmup + cfg_.runtime);
+
+    MultitenantResult r;
+    LatencyRecorder merged;
+    uint64_t h = 14695981039346656037ull;
+    for (const auto& grp : groups_) {
+      r.completed += grp->completed;
+      r.handoffs += grp->handoffs;
+      merged.Merge(grp->lat);
+      h = Mix(h, grp->completed);
+      h = Mix(h, grp->handoffs);
+      h = Mix(h, grp->lat.count());
+      h = Mix(h, grp->lat.max());
+      h = Mix(h, grp->lat.Percentile(99.0));
+    }
+    for (const auto& core : cores_) {
+      h = Mix(h, core->Fingerprint());
+    }
+    h = Mix(h, engine_.MergeFingerprint());
+    r.cross_messages = engine_.cross_messages();
+    r.events = engine_.events_executed();
+    r.epochs = engine_.epochs();
+    r.p50 = merged.Percentile(50.0);
+    r.p99 = merged.Percentile(99.0);
+    r.fingerprint = h;
+    return r;
+  }
+
+  ShardedEventLoop& engine() { return engine_; }
+  SchedCore& core(int i) { return *cores_[static_cast<size_t>(i)]; }
+  int ncores() const { return static_cast<int>(cores_.size()); }
+
+ private:
+  struct Request {
+    Time arrival = 0;
+    Duration service = 0;
+  };
+
+  // One tenant group = one NUMA node's worth of tenants, workers, and queue.
+  struct Group {
+    explicit Group(size_t cap)
+        : ring(ArenaAllocator<Request>(&arena)), wq("mt-grp") {
+      ring.resize(cap);  // fixed ring: the run's only queue allocation
+    }
+    int index = 0;
+    int shard = 0;
+    SchedCore* core = nullptr;
+    int policy = 0;
+    int first_cpu = 0;  // group's first CPU in its core's numbering
+    Arena arena{64 * 1024};
+    std::vector<Request, ArenaAllocator<Request>> ring;
+    size_t head = 0;
+    size_t count = 0;
+    WaitQueue wq;
+    std::unique_ptr<Rng> rng;  // service + handoff decisions (shard-local)
+    LatencyRecorder lat;
+    uint64_t completed = 0;
+    uint64_t handoffs = 0;
+    Time measure_from = 0;
+  };
+
+  static uint64_t Mix(uint64_t h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  static void Push(Group& g, Request r) {
+    ENOKI_CHECK_MSG(g.count < g.ring.size(), "multitenant group queue overflow");
+    g.ring[(g.head + g.count) % g.ring.size()] = r;
+    ++g.count;
+  }
+
+  static bool Pop(Group& g, Request* out) {
+    if (g.count == 0) {
+      return false;
+    }
+    *out = g.ring[g.head];
+    g.head = (g.head + 1) % g.ring.size();
+    --g.count;
+    return true;
+  }
+
+  // Cross-shard delivery: runs on the destination group's loop at the
+  // handoff's arrival time. The capture is two words so std::function's
+  // small-object buffer holds it — no heap allocation per handoff.
+  static void Deliver(Group* g, Duration service) {
+    Push(*g, Request{g->core->now(), service});
+    g->core->Signal(&g->wq, /*sync=*/false, /*from_cpu=*/g->first_cpu);
+  }
+
+  Duration ServiceSample(Rng& rng) const {
+    return static_cast<Duration>(
+        std::max(1.0, rng.NextExponential(static_cast<double>(cfg_.service_mean))));
+  }
+
+  // With probability remote_fraction, a completed request fans out to a
+  // uniformly chosen *other* group through the shard mailbox (self-post with
+  // the same latency when unsharded, keeping the simulation identical).
+  void MaybeHandoff(Group& src) {
+    if (groups_.size() < 2 || !src.rng->NextBernoulli(cfg_.remote_fraction)) {
+      return;
+    }
+    uint64_t pick = src.rng->NextBelow(groups_.size() - 1);
+    if (pick >= static_cast<uint64_t>(src.index)) {
+      ++pick;  // skip self: uniform over the other G-1 groups
+    }
+    Group* dst = groups_[static_cast<size_t>(pick)].get();
+    const Duration svc = ServiceSample(*src.rng);
+    ++src.handoffs;
+    engine_.PostCross(src.shard, dst->shard, cfg_.remote_latency,
+                      [dst, svc] { Deliver(dst, svc); });
+  }
+
+  void SpawnGroup(Group& grp, int cpus_per_group, Rng& seeder) {
+    CpuMask mask;
+    for (int i = 0; i < cpus_per_group; ++i) {
+      mask.Set(grp.first_cpu + i);
+    }
+
+    // Workers: block on the group queue, serve, maybe hand off remotely.
+    struct Worker {
+      MultitenantSim* sim;
+      Group* g;
+      Request pending;
+      int step = 0;
+    };
+    for (int w = 0; w < cfg_.workers_per_group; ++w) {
+      auto ws = std::make_shared<Worker>(Worker{this, &grp, {}, 0});
+      grp.core->CreateTaskOn(
+          "mt-w" + std::to_string(grp.index) + "." + std::to_string(w),
+          MakeFnBody([ws](SimContext& ctx) -> Action {
+            Worker& s = *ws;
+            if (s.step == 2) {  // finished serving
+              if (ctx.now() >= s.g->measure_from) {
+                s.g->lat.Record(ctx.now() - s.pending.arrival);
+                ++s.g->completed;
+              }
+              s.sim->MaybeHandoff(*s.g);
+              s.step = 0;
+            }
+            if (s.step == 0) {
+              s.step = 1;
+              return Action::Block(&s.g->wq);
+            }
+            if (!Pop(*s.g, &s.pending)) {
+              return Action::Block(&s.g->wq);  // spurious wake
+            }
+            s.step = 2;
+            return Action::Compute(s.pending.service);
+          }),
+          grp.policy, /*nice=*/0, mask);
+    }
+
+    // Tenants: open-loop Poisson arrival processes generated from event
+    // context (external clients), one rescheduling event chain each. The
+    // callback carries one shared_ptr, fitting the loop's inline buffer.
+    struct Tenant {
+      MultitenantSim* sim;
+      Group* g;
+      Rng rng;
+      double mean_gap_ns;
+      Time end;
+    };
+    struct TenantGen {
+      std::shared_ptr<Tenant> st;
+      void operator()() const {
+        Tenant& t = *st;
+        Push(*t.g, Request{t.g->core->now(), t.sim->ServiceSample(t.rng)});
+        t.g->core->Signal(&t.g->wq, /*sync=*/false, /*from_cpu=*/t.g->first_cpu);
+        if (t.g->core->now() < t.end) {
+          const Duration gap = static_cast<Duration>(
+              std::max(1.0, t.rng.NextExponential(t.mean_gap_ns)));
+          t.g->core->loop().ScheduleAfter(gap, *this);
+        }
+      }
+    };
+    const double mean_gap_ns = 1e9 / cfg_.rate_per_tenant;
+    for (int i = 0; i < cfg_.tenants_per_group; ++i) {
+      auto st = std::make_shared<Tenant>(Tenant{this, &grp, Rng(seeder.Next()), mean_gap_ns,
+                                                cfg_.warmup + cfg_.runtime});
+      const Duration first = static_cast<Duration>(
+          std::max(1.0, st->rng.NextExponential(mean_gap_ns)));
+      grp.core->loop().ScheduleAfter(first, TenantGen{std::move(st)});
+    }
+  }
+
+  MultitenantConfig cfg_;
+  ShardedEventLoop engine_;
+  std::vector<std::unique_ptr<SchedCore>> cores_;
+  std::vector<std::unique_ptr<CfsClass>> cfs_;
+  std::vector<int> policies_;
+  std::vector<std::unique_ptr<Group>> groups_;
+};
+
+inline MultitenantResult RunMultitenant(const MultitenantConfig& cfg) {
+  MultitenantSim sim(cfg);
+  return sim.Run();
+}
+
+}  // namespace enoki
+
+#endif  // SRC_WORKLOADS_MULTITENANT_H_

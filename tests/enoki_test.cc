@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "src/sched/fifo.h"
 #include "src/sched/wfq.h"
 #include "src/simkernel/bodies.h"
+#include "src/simkernel/sharded_event_loop.h"
 #include "src/workloads/pipe.h"
 
 namespace enoki {
@@ -598,6 +601,72 @@ TEST(Record, DrainTaskEmptiesRing) {
   }
   EXPECT_EQ(recorder.Drain(), 100u);
   EXPECT_EQ(recorder.log().size(), 100u);
+}
+
+// ---- Sharded merge recording ----
+
+// The committed cross-shard merge sequence streams into the trace as
+// kShardMerge entries; the recorded sequence must be identical for any
+// host thread count (it is the determinism contract, made auditable).
+TEST(Record, ShardMergeSequenceIdenticalAcrossThreads) {
+  auto run = [](int threads) {
+    ShardedEventLoop::Options opts;
+    opts.nshards = 4;
+    opts.epoch_ns = 1'000;
+    opts.threads = threads;
+    ShardedEventLoop engine(opts);
+    Recorder recorder(1 << 12);
+    AttachShardMergeRecorder(engine, &recorder);
+    // A deterministic cross-shard ring: each shard forwards a token around
+    // the machine a few times.
+    std::function<void(int, int)> hop = [&](int s, int depth) {
+      if (depth == 0) {
+        return;
+      }
+      engine.PostCross(s, (s + 1) % 4, 1'000 + static_cast<Duration>(depth % 7) * 100,
+                       [&hop, s, depth] { hop((s + 1) % 4, depth - 1); });
+    };
+    for (int s = 0; s < 4; ++s) {
+      engine.shard(s).ScheduleAt(static_cast<Time>(50 * (s + 1)), [&hop, s] { hop(s, 20); });
+    }
+    engine.RunUntilIdle();
+    recorder.Drain();
+    std::vector<std::string> lines;
+    for (const RecordEntry& e : recorder.log()) {
+      EXPECT_EQ(e.type, RecordType::kShardMerge);
+      lines.push_back(std::to_string(e.time) + "/" + std::to_string(e.arg[0]) + ":" +
+                      std::to_string(e.arg[1]) + ">" + std::to_string(e.arg[2]) + "#" +
+                      std::to_string(e.arg[3]));
+    }
+    EXPECT_EQ(lines.size(), engine.cross_messages());
+    return lines;
+  };
+  const std::vector<std::string> t1 = run(1);
+  EXPECT_EQ(t1.size(), 80u);  // 4 tokens x 20 hops
+  EXPECT_EQ(run(2), t1);
+  EXPECT_EQ(run(4), t1);
+}
+
+TEST(Record, ShardMergeEntriesSurviveSaveLoad) {
+  Recorder recorder(64);
+  RecordEntry e;
+  e.type = RecordType::kShardMerge;
+  e.arg[0] = 12'345;
+  e.arg[1] = 1;
+  e.arg[2] = 3;
+  e.arg[3] = 42;
+  recorder.SetTime(12'345);
+  recorder.Append(e);
+  recorder.Drain();
+  const std::string path = ::testing::TempDir() + "/shard_merge_trace.txt";
+  ASSERT_TRUE(recorder.SaveToFile(path));
+  std::vector<RecordEntry> loaded;
+  ASSERT_TRUE(Recorder::LoadFromFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].type, RecordType::kShardMerge);
+  EXPECT_EQ(loaded[0].arg[0], 12'345u);
+  EXPECT_EQ(loaded[0].arg[3], 42u);
+  EXPECT_STREQ(RecordTypeName(loaded[0].type), "shard_merge");
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "src/simkernel/bodies.h"
 #include "src/simkernel/sched_core.h"
+#include "src/workloads/multitenant.h"
 
 namespace enoki {
 namespace {
@@ -383,6 +384,128 @@ TEST(SimKernel, AffinityChangeMigratesRunningTask) {
   sim.core.RunFor(Milliseconds(1));
   EXPECT_EQ(t->cpu(), 5);
   ASSERT_TRUE(sim.core.RunUntilAllExit(Seconds(1)));
+}
+
+TEST(SimKernel, SameArrivalIpisCoalesce) {
+  // Two kicks to the same busy CPU from the same source at the same instant
+  // must schedule one resched event, not two (batched wakeup delivery).
+  Sim sim;
+  sim.core.CreateTaskOn("spin", std::make_unique<SpinForeverBody>(Milliseconds(10)), 0, 0,
+                        CpuMask::Single(0));
+  sim.core.Start();
+  sim.core.RunFor(Microseconds(50));  // task now current on CPU 0
+  const uint64_t before = sim.core.loop().events_executed();
+  sim.core.KickCpu(0, /*from_cpu=*/1);
+  sim.core.KickCpu(0, /*from_cpu=*/1);
+  sim.core.KickCpu(0, /*from_cpu=*/1);
+  EXPECT_EQ(sim.core.coalesced_ipis(), 2u);
+  sim.core.RunFor(Microseconds(50));
+  // Exactly one IPI delivery event ran for the three kicks (plus whatever
+  // the preemption itself schedules — count only up to the arrival).
+  EXPECT_GE(sim.core.loop().events_executed(), before + 1);
+}
+
+TEST(SimKernel, DistinctArrivalIpisNotCoalesced) {
+  // Kicks with different in-flight arrival times (local vs remote) are
+  // distinct IPIs and must not be merged.
+  Sim sim;
+  sim.core.CreateTaskOn("spin", std::make_unique<SpinForeverBody>(Milliseconds(10)), 0, 0,
+                        CpuMask::Single(0));
+  sim.core.Start();
+  sim.core.RunFor(Microseconds(50));
+  sim.core.KickCpu(0, /*from_cpu=*/1);   // remote: +ipi_ns
+  sim.core.KickCpu(0, /*from_cpu=*/0);   // local: immediate
+  EXPECT_EQ(sim.core.coalesced_ipis(), 0u);
+}
+
+TEST(SimKernel, ShardSpecSplitsMachineEvenly) {
+  const MachineSpec m = MachineSpec::EightNode256();
+  EXPECT_EQ(m.ncpus, 256);
+  EXPECT_EQ(m.nodes, 8);
+  const MachineSpec s = m.ShardSpec(3, 8);
+  EXPECT_EQ(s.ncpus, 32);
+  EXPECT_EQ(s.nodes, 1);
+  const MachineSpec quad = MachineSpec::FourNode128().ShardSpec(0, 4);
+  EXPECT_EQ(quad.ncpus, 32);
+  EXPECT_EQ(quad.nodes, 1);
+}
+
+// The tentpole determinism contract: the multitenant workload on a sharded
+// engine produces byte-identical fingerprints for any host thread count,
+// across a seed sweep, with every configuration run twice (double-run) to
+// also catch state leaking between runs through globals.
+TEST(SimKernel, ShardedDeterminismSweepAcrossSeedsAndThreads) {
+  // Small 4-node box so 100 seeds x {1,2,4} threads stays fast; the large
+  // configs run in sharded_scale_test (ctest label "large").
+  const MachineSpec machine{16, 4, "4-node mini (4x4)"};
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    MultitenantConfig cfg;
+    cfg.machine = machine;
+    cfg.nshards = 4;
+    cfg.tenants_per_group = 2;
+    cfg.rate_per_tenant = 20'000.0;
+    cfg.workers_per_group = 3;
+    cfg.warmup = Microseconds(200);
+    cfg.runtime = Milliseconds(2);
+    cfg.seed = seed;
+
+    cfg.shard_threads = 1;
+    const MultitenantResult base = RunMultitenant(cfg);
+    ASSERT_GT(base.events, 0u) << "seed " << seed;
+    for (int threads : {1, 2, 4}) {
+      cfg.shard_threads = threads;
+      const MultitenantResult r = RunMultitenant(cfg);
+      ASSERT_EQ(r.fingerprint, base.fingerprint) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.completed, base.completed) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.events, base.events) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.cross_messages, base.cross_messages)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.p99, base.p99) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(SimKernel, ShardedAndUnshardedAgreeOnThroughput) {
+  // nshards=1 and nshards=nodes simulate the same logical system; completed
+  // counts agree to within boundary-request slack.
+  const MachineSpec machine{16, 4, "4-node mini (4x4)"};
+  MultitenantConfig cfg;
+  cfg.machine = machine;
+  cfg.tenants_per_group = 2;
+  cfg.rate_per_tenant = 20'000.0;
+  cfg.workers_per_group = 3;
+  cfg.warmup = Microseconds(200);
+  cfg.runtime = Milliseconds(10);
+  cfg.seed = 5;
+  cfg.nshards = 4;
+  const MultitenantResult sharded = RunMultitenant(cfg);
+  cfg.nshards = 1;
+  const MultitenantResult flat = RunMultitenant(cfg);
+  ASSERT_GT(sharded.completed, 0u);
+  ASSERT_GT(flat.completed, 0u);
+  EXPECT_GT(sharded.cross_messages, 0u);
+  EXPECT_EQ(flat.cross_messages, 0u);  // self-posts skip the mailboxes
+  const double ratio =
+      static_cast<double>(sharded.completed) / static_cast<double>(flat.completed);
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(SimKernel, FingerprintSensitiveToState) {
+  // Sanity for the determinism sweeps: the fingerprint must actually change
+  // when the simulation does.
+  MultitenantConfig cfg;
+  cfg.machine = MachineSpec{16, 4, "4-node mini (4x4)"};
+  cfg.nshards = 4;
+  cfg.tenants_per_group = 2;
+  cfg.workers_per_group = 3;
+  cfg.warmup = Microseconds(200);
+  cfg.runtime = Milliseconds(2);
+  cfg.seed = 1;
+  const MultitenantResult a = RunMultitenant(cfg);
+  cfg.seed = 2;
+  const MultitenantResult b = RunMultitenant(cfg);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
 }
 
 TEST(SimKernel, KickPendingVisibleDuringIdleExit) {
