@@ -18,6 +18,14 @@
 //   --reps=<n>             repetitions per config (default 3); wall-clock
 //                          metrics keep the fastest rep, event counts must
 //                          be identical across reps
+//   --require-speedup-gate fail (instead of loudly skipping) the shard
+//                          speedup gates when the host has < 4 hardware
+//                          threads; set by the dedicated multi-core CI job
+//
+// Besides throughput rows, every config emits prof_* subsystem counters
+// (src/base/profile.h): timing-wheel cascades, slab/arena growth, epoch
+// barrier and controller decisions. Count-type prof rows are deterministic
+// and gated exactly by --check-against; *_ns rows are wall-clock profiling.
 //
 // The workload mix is chosen to stress the three event-queue behaviours that
 // matter: schbench (dense wake/block churn), pipe (long same-pattern chains
@@ -97,6 +105,11 @@ struct PerfResult {
   uint64_t allocs = 0;
   uint64_t seed = 0;
   int shard_threads = 0;  // 0 = single-loop config (no shard column)
+  // Subsystem profile counters (src/base/profile.h), emitted as prof_<name>
+  // JSON rows. Count-type counters are deterministic and gated exactly
+  // against the baseline — a regression names the subsystem that regressed;
+  // *_ns counters are wall-clock and reported but never gated.
+  std::vector<std::pair<std::string, double>> counters;
 
   double events_per_sec() const { return wall_sec > 0 ? events / wall_sec : 0.0; }
   double ns_per_event() const { return events > 0 ? wall_sec * 1e9 / events : 0.0; }
@@ -104,6 +117,34 @@ struct PerfResult {
     return events > 0 ? static_cast<double>(allocs) / events : 0.0;
   }
 };
+
+// Snapshot of the process-wide allocation counters, for per-config deltas.
+struct GlobalCounterSnap {
+  uint64_t arena_chunks = 0;
+  uint64_t event_slabs = 0;
+
+  static GlobalCounterSnap Take() {
+    GlobalCounterSnap s;
+    s.arena_chunks = GlobalCounters::Get().Value(GlobalCounters::kArenaChunks);
+    s.event_slabs = GlobalCounters::Get().Value(GlobalCounters::kEventSlabs);
+    return s;
+  }
+};
+
+void AppendWheelCounters(PerfResult* r, const WheelProfile& w) {
+  r->counters.emplace_back("prof_cascades", static_cast<double>(w.cascades));
+  r->counters.emplace_back("prof_overflow_pulls", static_cast<double>(w.overflow_pulls));
+  r->counters.emplace_back("prof_behind_inserts", static_cast<double>(w.behind_inserts));
+  r->counters.emplace_back("prof_slab_allocs", static_cast<double>(w.slab_allocs));
+}
+
+void AppendGlobalCounters(PerfResult* r, const GlobalCounterSnap& before) {
+  const GlobalCounterSnap now = GlobalCounterSnap::Take();
+  r->counters.emplace_back("prof_arena_chunks",
+                           static_cast<double>(now.arena_chunks - before.arena_chunks));
+  r->counters.emplace_back("prof_event_slabs",
+                           static_cast<double>(now.event_slabs - before.event_slabs));
+}
 
 // Repetitions per config: wall-clock metrics keep the best (fastest) rep so
 // transient host load cannot fake a hot-path regression, which is what lets
@@ -120,6 +161,7 @@ PerfResult Measure(const std::string& name, uint64_t seed, MakeStackFn make_stac
   r.seed = seed;
   for (int rep = 0; rep < std::max(1, g_reps); ++rep) {
     Stack s = make_stack();
+    const GlobalCounterSnap snap = GlobalCounterSnap::Take();
     const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
     const auto wall_start = std::chrono::steady_clock::now();
     body(s);
@@ -131,6 +173,8 @@ PerfResult Measure(const std::string& name, uint64_t seed, MakeStackFn make_stac
       r.events = events;
       r.allocs = allocs;
       r.wall_sec = wall_sec;
+      AppendWheelCounters(&r, s.core->loop().wheel_profile());
+      AppendGlobalCounters(&r, snap);
       continue;
     }
     if (events != r.events) {
@@ -156,6 +200,7 @@ PerfResult MeasureMt(const std::string& name, const MultitenantConfig& cfg) {
   uint64_t fingerprint = 0;
   for (int rep = 0; rep < std::max(1, g_reps); ++rep) {
     MultitenantSim sim(cfg);
+    const GlobalCounterSnap snap = GlobalCounterSnap::Take();
     const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
     const auto wall_start = std::chrono::steady_clock::now();
     const MultitenantResult res = sim.Run();
@@ -167,6 +212,19 @@ PerfResult MeasureMt(const std::string& name, const MultitenantConfig& cfg) {
       r.allocs = allocs;
       r.wall_sec = wall_sec;
       fingerprint = res.fingerprint;
+      const ShardProfile prof = sim.engine().profile();
+      r.counters.emplace_back("prof_epochs", static_cast<double>(prof.epochs));
+      r.counters.emplace_back("prof_idle_leaps", static_cast<double>(prof.idle_leaps));
+      r.counters.emplace_back("prof_commit_msgs", static_cast<double>(prof.commit_msgs));
+      r.counters.emplace_back("prof_widens", static_cast<double>(prof.widens));
+      r.counters.emplace_back("prof_narrows", static_cast<double>(prof.narrows));
+      r.counters.emplace_back("prof_final_window",
+                              static_cast<double>(sim.engine().window_ns()));
+      AppendWheelCounters(&r, sim.engine().WheelProfileSum());
+      AppendGlobalCounters(&r, snap);
+      // Wall-clock (host-dependent) profile rows: reported, never gated.
+      r.counters.emplace_back("prof_commit_wall_ns", static_cast<double>(prof.commit_ns));
+      r.counters.emplace_back("prof_barrier_wall_ns", static_cast<double>(prof.barrier_ns));
       continue;
     }
     if (res.events != r.events || res.fingerprint != fingerprint) {
@@ -192,6 +250,19 @@ MultitenantConfig MtConfig(MachineSpec machine, int nshards, int shard_threads, 
   cfg.warmup = Milliseconds(quick ? 10 : 20);
   cfg.runtime = Milliseconds(quick ? 80 : 300);
   cfg.seed = 11;
+  return cfg;
+}
+
+// Adaptive-epoch variant: the cross-node RPC latency is raised to 100 us so
+// the controller has real widening headroom (the clamp is the minimum
+// cross-shard latency; at 25 us the window could only grow 20 -> 25 us).
+// The flat (nshards=1) twin uses the same latency, so "adaptive sharded vs
+// unsharded" still compares the identical logical system.
+MultitenantConfig MtAdaptiveConfig(MachineSpec machine, int nshards, int shard_threads,
+                                   bool quick) {
+  MultitenantConfig cfg = MtConfig(machine, nshards, shard_threads, quick);
+  cfg.remote_latency = Microseconds(100);
+  cfg.adaptive_epochs = true;
   return cfg;
 }
 
@@ -314,6 +385,24 @@ std::vector<PerfResult> RunAll(bool quick) {
   out.push_back(MeasureMt("mt256_s8t1", MtConfig(m256, 8, 1, quick)));
   out.push_back(MeasureMt("mt256_s8t4", MtConfig(m256, 8, 4, quick)));
 
+  // Adaptive-epoch rows (ISSUE 8): same machines, 100 us cross-node latency,
+  // controller widening the window from committed traffic. The static rows
+  // above stay as the baseline column.
+  out.push_back(MeasureMt("mt128_s4t4a", MtAdaptiveConfig(m128, 4, 4, quick)));
+  out.push_back(MeasureMt("mt256_flata", MtAdaptiveConfig(m256, 1, 1, quick)));
+  out.push_back(MeasureMt("mt256_s8t1a", MtAdaptiveConfig(m256, 8, 1, quick)));
+  out.push_back(MeasureMt("mt256_s8t4a", MtAdaptiveConfig(m256, 8, 4, quick)));
+
+  // Heavy-tailed multitenant arrivals: Pareto inter-arrival gaps, mean-matched
+  // to the Poisson rows' load. Exercises bursty queue depth on the sharded
+  // engine.
+  {
+    MultitenantConfig heavy = MtConfig(m128, 4, 4, quick);
+    heavy.arrival = ArrivalDist::kPareto;
+    heavy.pareto_alpha = 1.5;
+    out.push_back(MeasureMt("mt128_s4t4h", heavy));
+  }
+
   return out;
 }
 
@@ -328,31 +417,64 @@ double EventsPerSecOf(const std::vector<PerfResult>& results, const std::string&
   return 0.0;
 }
 
-// ISSUE 7 acceptance: on the 256-CPU config, 4 shard threads must deliver
-// >= 1.5x the events/sec of the unsharded engine. Only meaningful on hosts
-// that can actually run 4 threads — on smaller machines the gate reports and
-// skips (loudly) instead of failing on hardware it cannot exercise.
-int CheckShardSpeedup(const std::vector<PerfResult>& results) {
-  const double flat = EventsPerSecOf(results, "mt256_flat");
-  const double t4 = EventsPerSecOf(results, "mt256_s8t4");
-  if (flat <= 0.0 || t4 <= 0.0) {
-    return 0;  // configs not run
-  }
-  const double speedup = t4 / flat;
+// Speedup gates on the 256-CPU config: static epochs must keep the ISSUE 7
+// >= 1.5x bound, adaptive epochs must reach the raised ISSUE 8 >= 1.8x
+// bound (the controller widens 20 us -> 100 us, cutting barrier count ~5x).
+//
+// Both bounds need >= 4 real hardware threads. On smaller hosts the gate
+// skips — but *loudly*: a skip is printed, recorded in the JSON output
+// (config "mt256_gate", metric "gate_skipped" = 1), and turned into a hard
+// failure under --require-speedup-gate, which the dedicated multi-core CI
+// job passes so the gate can never be silently skipped fleet-wide.
+int CheckShardSpeedup(const std::vector<PerfResult>& results, BenchJson* json,
+                      bool require_gate) {
+  struct Gate {
+    const char* label;
+    const char* flat;
+    const char* t4;
+    double bound;
+  };
+  const Gate gates[] = {
+      {"static", "mt256_flat", "mt256_s8t4", 1.5},
+      {"adaptive", "mt256_flata", "mt256_s8t4a", 1.8},
+  };
   const unsigned hc = std::thread::hardware_concurrency();
-  std::printf("shard speedup (mt256, 4 threads vs unsharded): %.2fx on %u-core host\n",
-              speedup, hc);
-  if (hc < 4) {
-    std::printf("SKIPPING shard speedup gate: host has %u hardware threads (< 4); "
-                "the >=1.5x bound is only enforceable with real parallelism\n", hc);
-    return 0;
+  const bool enforceable = hc >= 4;
+  int failures = 0;
+  for (const Gate& g : gates) {
+    const double flat = EventsPerSecOf(results, g.flat);
+    const double t4 = EventsPerSecOf(results, g.t4);
+    if (flat <= 0.0 || t4 <= 0.0) {
+      continue;  // configs not run
+    }
+    const double speedup = t4 / flat;
+    std::printf("shard speedup [%s] (%s vs %s): %.2fx, bound %.1fx, %u-core host\n",
+                g.label, g.t4, g.flat, speedup, g.bound, hc);
+    json->Row(std::string("mt256_gate_") + g.label, "shard_speedup", speedup, 11);
+    json->Row(std::string("mt256_gate_") + g.label, "gate_skipped", enforceable ? 0.0 : 1.0,
+              11);
+    if (!enforceable) {
+      if (require_gate) {
+        std::fprintf(stderr,
+                     "GATE FAILURE [%s]: --require-speedup-gate on a %u-thread host; "
+                     "run this gate on >= 4 hardware threads\n",
+                     g.label, hc);
+        ++failures;
+      } else {
+        std::printf("SKIPPING shard speedup gate [%s]: host has %u hardware threads (< 4); "
+                    "the >=%.1fx bound is only enforceable with real parallelism "
+                    "(recorded as gate_skipped=1 in --json)\n",
+                    g.label, hc, g.bound);
+      }
+      continue;
+    }
+    if (speedup < g.bound) {
+      std::fprintf(stderr, "REGRESSION shard speedup [%s]: %.2fx < %.1fx (%s vs %s)\n",
+                   g.label, speedup, g.bound, g.t4, g.flat);
+      ++failures;
+    }
   }
-  if (speedup < 1.5) {
-    std::fprintf(stderr, "REGRESSION shard speedup: %.2fx < 1.5x (mt256_s8t4 vs mt256_flat)\n",
-                 speedup);
-    return 1;
-  }
-  return 0;
+  return failures;
 }
 
 // ---- Baseline comparison --------------------------------------------------
@@ -468,6 +590,28 @@ int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::stri
                    r.name.c_str(), r.allocs_per_event(), base_ape);
       ++failures;
     }
+    // Subsystem profile counters: count-type prof_* rows are pure functions
+    // of the simulation, so they are compared exactly — a drift does not just
+    // say "slower", it names the subsystem (wheel cascades, slab growth,
+    // arena chunks, epoch barriers, controller decisions) that regressed.
+    // Wall-clock *_ns rows are host-dependent and skipped.
+    for (const auto& [counter, value] : r.counters) {
+      if (counter.size() > 3 && counter.compare(counter.size() - 3, 3, "_ns") == 0) {
+        continue;
+      }
+      const double base = BaselineValue(baseline, r.name, counter, &found);
+      if (!found) {
+        std::fprintf(stderr, "MISSING BASELINE %s %s: regenerate %s\n", r.name.c_str(),
+                     counter.c_str(), path.c_str());
+        ++failures;
+        continue;
+      }
+      if (value != base) {
+        std::fprintf(stderr, "REGRESSION %s %s: %.0f vs baseline %.0f (deterministic)\n",
+                     r.name.c_str(), counter.c_str(), value, base);
+        ++failures;
+      }
+    }
   }
   if (failures == 0) {
     std::printf("baseline check: OK (tolerance %.0f%%, baseline %s)\n", max_regress * 100.0,
@@ -503,10 +647,14 @@ int Run(int argc, char** argv) {
     if (r.shard_threads > 0) {
       json.Row(r.name, "shard_threads", static_cast<double>(r.shard_threads), r.seed);
     }
+    for (const auto& [counter, value] : r.counters) {
+      json.Row(r.name, counter, value, r.seed);
+    }
   }
-  json.Write();
 
-  int failures = CheckShardSpeedup(results);
+  int failures = CheckShardSpeedup(results, &json,
+                                   BenchHasFlag(argc, argv, "--require-speedup-gate"));
+  json.Write();
   if (const char* baseline = BenchArgValue(argc, argv, "--check-against")) {
     double max_regress = 0.25;
     if (const char* tol = BenchArgValue(argc, argv, "--max-regress")) {

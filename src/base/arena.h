@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/profile.h"
 
 namespace enoki {
 
@@ -72,6 +73,17 @@ class Arena {
     return new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
   }
 
+  // Pre-allocates so the next `bytes` of allocation are chunk-local: a
+  // Warm()ed arena reaches its high-water mark before the run starts instead
+  // of growing mid-run. Sized from a workload hint (see SchedCore::Start's
+  // shard-local warming); a hint that proves too small only costs the growth
+  // the arena would have paid anyway.
+  void Warm(size_t bytes) {
+    if (limit_ - cursor_ < bytes) {
+      NewChunk(bytes);
+    }
+  }
+
   // Abandons every object and retains the largest chunk for reuse, so a
   // warmed arena services the next run allocation-free.
   void Reset() {
@@ -99,6 +111,7 @@ class Arena {
   };
 
   void NewChunk(size_t min_bytes) {
+    ProfCount(GlobalCounters::kArenaChunks);
     bytes_in_full_chunks_ += cursor_ - chunk_base_;
     size_t bytes = next_chunk_bytes_;
     while (bytes < min_bytes) {

@@ -1,0 +1,117 @@
+// Profile counter layer: cheap per-subsystem event and cycle counters, so
+// the next flattening target is named by data instead of guesswork.
+//
+// The simulator's hot path is deliberately allocation- and syscall-free, so
+// what remains to optimize hides in *cold-ish* paths that fire often enough
+// to matter: timing-wheel cascades, slab and arena growth, cross-shard merge
+// commits, epoch-barrier waits. Two kinds of counters cover them:
+//
+//  - Local counters (WheelProfile, ShardProfile): plain uint64_t structs
+//    owned by single-threaded objects (an EventLoop is touched by exactly
+//    one thread per epoch; ShardedEventLoop's barrier code runs on the main
+//    thread only). Zero synchronization cost, aggregated by the owner on
+//    demand. These are the per-event-frequency counters.
+//  - Global counters (GlobalCounters): relaxed atomics for rare allocation
+//    events raised from deep inside helpers that have no natural owner to
+//    report through (arena chunk growth, event-slab growth). Rare enough
+//    that an atomic add is free.
+//
+// Counter semantics split into two classes, and consumers must respect the
+// split:
+//  - count-type counters (events, cascades, chunks, slabs, epochs, widens,
+//    narrows, commit messages) are pure functions of the simulation and are
+//    byte-identical across hosts and thread counts — CI gates them against
+//    a checked-in baseline so an alloc/cascade regression names the
+//    subsystem that regressed;
+//  - *_ns counters (commit wall time, barrier wall time) are wall-clock and
+//    host-dependent — reported for profiling, never gated.
+//
+// bench_simperf --json exposes both as "prof_<name>" rows per config.
+
+#ifndef SRC_BASE_PROFILE_H_
+#define SRC_BASE_PROFILE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace enoki {
+
+// Per-EventLoop cold-path counters. Single-threaded by the loop's own
+// contract; merged across shard loops by ShardedEventLoop::WheelProfileSum.
+struct WheelProfile {
+  uint64_t cascades = 0;        // non-level-0 buckets redistributed
+  uint64_t overflow_pulls = 0;  // events pulled overflow-heap -> wheel
+  uint64_t behind_inserts = 0;  // events scheduled behind the wheel clock
+  uint64_t slab_allocs = 0;     // event-slab growths (also in GlobalCounters)
+
+  void MergeFrom(const WheelProfile& o) {
+    cascades += o.cascades;
+    overflow_pulls += o.overflow_pulls;
+    behind_inserts += o.behind_inserts;
+    slab_allocs += o.slab_allocs;
+  }
+};
+
+// Per-ShardedEventLoop barrier/merge/controller counters. Written only by
+// the thread driving RunUntil (the barrier owner).
+struct ShardProfile {
+  uint64_t epochs = 0;        // committed epoch barriers
+  uint64_t idle_leaps = 0;    // epochs whose window start leapt an idle span
+  uint64_t commit_msgs = 0;   // cross-shard messages committed
+  uint64_t widens = 0;        // controller WIDEN decisions applied
+  uint64_t narrows = 0;       // controller NARROW decisions applied
+  uint64_t commit_ns = 0;     // wall ns draining+sorting+committing outboxes
+  uint64_t barrier_ns = 0;    // wall ns the main thread waited on workers
+};
+
+// Process-wide counters for allocation events raised from helpers with no
+// reporting channel of their own. Relaxed atomics: these are counters, not
+// synchronization, and every increment site is a rare growth path.
+class GlobalCounters {
+ public:
+  enum Id : int {
+    kArenaChunks = 0,   // Arena::NewChunk calls
+    kEventSlabs = 1,    // EventLoop slab-pool growths
+    kIdCount = 2,
+  };
+
+  static GlobalCounters& Get() {
+    static GlobalCounters g;
+    return g;
+  }
+
+  void Add(Id id, uint64_t n = 1) { counters_[id].fetch_add(n, std::memory_order_relaxed); }
+
+  uint64_t Value(Id id) const { return counters_[id].load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> counters_[kIdCount] = {};
+};
+
+inline void ProfCount(GlobalCounters::Id id, uint64_t n = 1) {
+  GlobalCounters::Get().Add(id, n);
+}
+
+// Accumulates wall-clock ns into `*sink` over its scope. Used only at epoch
+// granularity (two reads of steady_clock per epoch), never per event.
+class ProfTimer {
+ public:
+  explicit ProfTimer(uint64_t* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ProfTimer() {
+    *sink_ += static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start_)
+                                        .count());
+  }
+  ProfTimer(const ProfTimer&) = delete;
+  ProfTimer& operator=(const ProfTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace enoki
+
+#endif  // SRC_BASE_PROFILE_H_

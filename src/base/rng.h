@@ -60,6 +60,18 @@ class Rng {
     return -mean * std::log(u);
   }
 
+  // Pareto (type I) with shape `alpha` and scale (minimum value) `xm`, via
+  // inverse transform: xm / u^(1/alpha). Heavy-tailed for small alpha; the
+  // mean is alpha*xm/(alpha-1) when alpha > 1, infinite otherwise — callers
+  // that mean-match a target rate must use alpha > 1.
+  double NextPareto(double alpha, double xm) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
   // Log-normal parameterized by the mean and sigma of the *underlying* normal.
   double NextLogNormal(double mu, double sigma) { return std::exp(mu + sigma * NextGaussian()); }
 

@@ -45,6 +45,7 @@
 
 #include "src/base/check.h"
 #include "src/base/inline_function.h"
+#include "src/base/profile.h"
 #include "src/base/time.h"
 
 namespace enoki {
@@ -73,6 +74,7 @@ class EventLoop {
     ++live_events_;
     if (at < wheel_now_) {
       ev->where = Where::kBehindHeap;
+      ++profile_.behind_inserts;
       HeapPush(&behind_, ev);
     } else {
       // The cached minimum came from a scan that cascaded every bucket whose
@@ -199,6 +201,22 @@ class EventLoop {
 
   uint64_t events_executed() const { return executed_; }
 
+  // Cold-path frequency counters (cascades, overflow pulls, behind-clock
+  // inserts, demand slab growth). Pure functions of the simulation: identical
+  // across hosts and shard-thread counts, so they are CI-gateable.
+  const WheelProfile& wheel_profile() const { return profile_; }
+
+  // Grows the slab pool until at least `nevents` events can be allocated
+  // without further growth. Called once at Start() (sized from a workload
+  // hint) so steady state never pays a mid-run slab allocation; warming is
+  // deliberately not counted in wheel_profile().slab_allocs — that counter
+  // names *demand* growth, which warming exists to eliminate.
+  void WarmSlabs(size_t nevents) {
+    while (free_slots_.size() < nevents) {
+      GrowSlab();
+    }
+  }
+
  private:
   // 8 levels x 64 buckets: level L buckets are 64^L ns wide, total span
   // 64^8 ns = 2^48 ns (~3.26 simulated days). Far enough that the overflow
@@ -239,17 +257,23 @@ class EventLoop {
 
   // ---- Slab pool ----
 
+  void GrowSlab() {
+    const uint32_t base = static_cast<uint32_t>(slabs_.size()) << kSlabBits;
+    slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+    Event* slab = slabs_.back().get();
+    free_slots_.reserve(free_slots_.size() + kSlabSize);
+    // Reversed so low slot numbers are handed out first (LIFO free list).
+    for (uint32_t i = kSlabSize; i-- > 0;) {
+      slab[i].slot = base + i;
+      free_slots_.push_back(base + i);
+    }
+  }
+
   Event* AllocEvent() {
     if (free_slots_.empty()) {
-      const uint32_t base = static_cast<uint32_t>(slabs_.size()) << kSlabBits;
-      slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
-      Event* slab = slabs_.back().get();
-      free_slots_.reserve(free_slots_.size() + kSlabSize);
-      // Reversed so low slot numbers are handed out first (LIFO free list).
-      for (uint32_t i = kSlabSize; i-- > 0;) {
-        slab[i].slot = base + i;
-        free_slots_.push_back(base + i);
-      }
+      ++profile_.slab_allocs;
+      ProfCount(GlobalCounters::kEventSlabs);
+      GrowSlab();
     }
     const uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
@@ -380,6 +404,7 @@ class EventLoop {
           FreeEvent(ev);
           continue;
         }
+        ++profile_.overflow_pulls;
         InsertWheel(ev);
       }
 
@@ -447,6 +472,7 @@ class EventLoop {
         return best_start;
       }
       // Enter the bucket's range and redistribute it into lower levels.
+      ++profile_.cascades;
       wheel_now_ = best_start;
       Event* ev = TakeBucket(best_level, best_idx);
       while (ev != nullptr) {
@@ -544,6 +570,7 @@ class EventLoop {
 
   std::vector<std::unique_ptr<Event[]>> slabs_;
   std::vector<uint32_t> free_slots_;
+  WheelProfile profile_;
 };
 
 }  // namespace enoki

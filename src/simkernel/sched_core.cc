@@ -54,6 +54,13 @@ int SchedCore::ClassPriority(const SchedClass* cls) const {
 void SchedCore::Start() {
   ENOKI_CHECK(!started_);
   started_ = true;
+  if (spec_.warm_events_per_cpu > 0) {
+    // Shard-local slab warming: reach the pool's high-water mark before the
+    // run instead of growing mid-run (the hint travels through ShardSpec, so
+    // every shard core warms its own loop).
+    loop_->WarmSlabs(static_cast<size_t>(spec_.ncpus) *
+                     static_cast<size_t>(spec_.warm_events_per_cpu));
+  }
   if (!ticks_enabled_) {
     return;
   }

@@ -48,6 +48,13 @@ struct MachineSpec {
   // Explicit per-CPU NUMA node map. Empty means the historical layout of
   // `nodes` contiguous blocks of ncpus/nodes CPUs each.
   std::vector<int> node_of;
+  // Warm-path hint: Start() pre-sizes the event loop's slab pool for
+  // ncpus * this many concurrently-live events, so steady state never pays a
+  // mid-run slab growth. 0 (default) keeps the historical demand-growth
+  // behavior; a hint that proves small only costs the growth the pool would
+  // have paid anyway. Simulation output is identical either way — warming
+  // moves allocations, never events.
+  int warm_events_per_cpu = 0;
 
   int NodeOfCpu(int cpu) const {
     if (cpu >= 0 && cpu < static_cast<int>(node_of.size())) {
@@ -105,6 +112,7 @@ struct MachineSpec {
     s.ncpus = ncpus / nshards;
     s.nodes = nodes / nshards;
     s.smt_pairs = smt_pairs;
+    s.warm_events_per_cpu = warm_events_per_cpu;  // shard-local warming hint
     s.name = name + " [shard " + std::to_string(shard) + "/" + std::to_string(nshards) + "]";
     return s;
   }

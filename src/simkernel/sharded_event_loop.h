@@ -33,6 +33,17 @@
 // safe because no event exists in the skipped span, and it makes idle
 // stretches free.
 //
+// Adaptive epochs (Options::adaptive_epochs): a deterministic EpochController
+// widens or narrows the *effective* window between epochs, from committed
+// simulation state only — cross-shard message rate, idle-leap frequency, and
+// event density over a sliding window of epochs. Wider windows amortize the
+// barrier over more events; narrower windows protect the bounded outboxes
+// under cross-shard pressure. The clamp invariant that keeps the lookahead
+// argument intact: the window never exceeds the minimum cross-shard latency
+// registered via RegisterCrossLatency (and never drops below a floor). All
+// controller inputs are byte-identical across host thread counts, so the
+// window schedule — and therefore the run — still is too.
+//
 // With K=1 the engine degrades to a zero-overhead forwarder around the plain
 // EventLoop — benchmarks comparing "sharded vs unsharded" compare against
 // the true single-threaded hot path.
@@ -49,11 +60,96 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/profile.h"
 #include "src/base/ring_buffer.h"
 #include "src/base/time.h"
 #include "src/simkernel/event_loop.h"
 
 namespace enoki {
+
+// Deterministic per-epoch window controller. Fed one sample per *committed*
+// epoch; every `period` samples it makes one decision:
+//
+//         ┌─────────────────────────────────────────────────┐
+//         │                   HOLD (start)                  │
+//         └─────────────────────────────────────────────────┘
+//    msgs/epoch ≥ slots/4 │        │ leaps ≥ period/2  │ dense & headroom
+//            ▼            │        ▼                   ▼
+//         NARROW (w /= 2) │      HOLD          WIDEN (w *= 2)
+//
+//  1. NARROW when committed cross-shard messages per epoch approach the
+//     bounded outbox capacity (≥ slots/4): halve the window (clamped to
+//     `floor`) so one epoch's traffic cannot overflow a mailbox — overflow
+//     is a checked error, so pressure must be relieved before the cliff.
+//  2. HOLD when idle-leap epochs dominate the window (≥ half): the engine is
+//     leaping over idle spans, so window width is already irrelevant and
+//     drifting it would only add noise.
+//  3. WIDEN when the epochs are dense (events/epoch ≥ widen_density) and
+//     cross traffic has ample headroom (msgs/epoch ≤ slots/8): double the
+//     window (clamped to `ceiling`) to amortize the barrier over more events.
+//
+// Every input is a pure function of the simulation (committed counts), never
+// of host timing, so decision sequences are identical for any thread count.
+// The ceiling is the lookahead clamp: callers must set it no higher than the
+// minimum registered cross-shard latency.
+class EpochController {
+ public:
+  struct Config {
+    Duration floor = 0;
+    Duration ceiling = 0;
+    int period = 8;                // epochs per decision
+    size_t mailbox_slots = 4096;   // NARROW threshold base
+    uint64_t widen_density = 16;   // events/epoch needed to WIDEN
+  };
+
+  explicit EpochController(Config cfg) : cfg_(cfg) {
+    ENOKI_CHECK(cfg.floor > 0 && cfg.ceiling >= cfg.floor && cfg.period > 0);
+  }
+
+  // Records one committed epoch and returns the window for the next one.
+  Duration OnEpoch(Duration window, uint64_t committed_msgs, uint64_t events, bool leapt) {
+    msgs_ += committed_msgs;
+    events_ += events;
+    leaps_ += leapt ? 1 : 0;
+    if (++samples_ < cfg_.period) {
+      return Clamp(window);
+    }
+    const uint64_t period = static_cast<uint64_t>(cfg_.period);
+    const uint64_t avg_msgs = msgs_ / period;
+    const uint64_t avg_events = events_ / period;
+    const bool leap_dominated = leaps_ * 2 >= period;
+    msgs_ = events_ = leaps_ = 0;
+    samples_ = 0;
+    if (avg_msgs * 4 >= cfg_.mailbox_slots) {
+      const Duration w = Clamp(window / 2);
+      narrows_ += (w != window) ? 1 : 0;
+      return w;
+    }
+    if (leap_dominated) {
+      return Clamp(window);
+    }
+    if (avg_events >= cfg_.widen_density && avg_msgs * 8 <= cfg_.mailbox_slots) {
+      const Duration w = Clamp(window * 2);
+      widens_ += (w != window) ? 1 : 0;
+      return w;
+    }
+    return Clamp(window);
+  }
+
+  uint64_t widens() const { return widens_; }
+  uint64_t narrows() const { return narrows_; }
+
+ private:
+  Duration Clamp(Duration w) const { return std::clamp(w, cfg_.floor, cfg_.ceiling); }
+
+  const Config cfg_;
+  uint64_t msgs_ = 0;
+  uint64_t events_ = 0;
+  uint64_t leaps_ = 0;
+  int samples_ = 0;
+  uint64_t widens_ = 0;
+  uint64_t narrows_ = 0;
+};
 
 class ShardedEventLoop {
  public:
@@ -71,9 +167,21 @@ class ShardedEventLoop {
     // two; overflow is a checked error, not a drop — dropping would make
     // output depend on timing.
     size_t mailbox_slots = RingBuffer<int>::CheckedCapacity<4096>();
+    // Adaptive epochs: let an EpochController retune the effective window
+    // between epochs. epoch_ns becomes the *initial* window; the controller
+    // moves it within [min_epoch_ns, min registered cross-shard latency].
+    bool adaptive_epochs = false;
+    // Narrowing floor. 0 = epoch_ns / 4 (at least 1 ns).
+    Duration min_epoch_ns = 0;
+    // Optional widening cap below the registered-latency clamp. 0 = clamp
+    // only by the minimum latency passed to RegisterCrossLatency (with no
+    // registration the window cannot widen past epoch_ns at all).
+    Duration max_epoch_ns = 0;
+    // Epochs per controller decision (sliding stats window).
+    int controller_period = 8;
   };
 
-  explicit ShardedEventLoop(Options opts) : opts_(opts) {
+  explicit ShardedEventLoop(Options opts) : opts_(opts), window_(opts.epoch_ns) {
     ENOKI_CHECK(opts.nshards >= 1);
     ENOKI_CHECK(opts.epoch_ns > 0);
     threads_ = ResolveThreads(opts.threads, opts.nshards);
@@ -104,10 +212,46 @@ class ShardedEventLoop {
   int nshards() const { return opts_.nshards; }
   int threads() const { return threads_; }
   Duration epoch_ns() const { return opts_.epoch_ns; }
+  // Current effective window (== epoch_ns until an adaptive controller moves
+  // it).
+  Duration window_ns() const { return window_; }
   EventLoop& shard(int i) { return shards_[static_cast<size_t>(i)]->loop; }
 
   // Committed horizon: no shard has unexecuted events at or before this time.
   Time now() const { return now_; }
+
+  // Declares that every future PostCross through this engine carries at
+  // least `latency`. Must be called before the first epoch runs. The
+  // adaptive controller may then widen the window up to the smallest
+  // registered latency — the clamp that keeps the lookahead argument (no
+  // message lands inside the window that sent it) intact. Static mode
+  // ignores registrations; the fixed epoch_ns bound already holds.
+  void RegisterCrossLatency(Duration latency) {
+    ENOKI_CHECK_MSG(prof_.epochs == 0, "RegisterCrossLatency after the engine started");
+    ENOKI_CHECK_MSG(latency >= opts_.epoch_ns,
+                    "registered cross-shard latency below the base epoch window");
+    min_cross_latency_ = std::min(min_cross_latency_, latency);
+  }
+
+  // Barrier/merge/controller counters. Count-type fields are deterministic
+  // across hosts and thread counts; *_ns fields are wall-clock.
+  ShardProfile profile() const {
+    ShardProfile p = prof_;
+    if (controller_ != nullptr) {
+      p.widens = controller_->widens();
+      p.narrows = controller_->narrows();
+    }
+    return p;
+  }
+
+  // Sum of the per-shard wheel profiles (cascades, slab growth, ...).
+  WheelProfile WheelProfileSum() const {
+    WheelProfile sum;
+    for (const auto& sh : shards_) {
+      sum.MergeFrom(sh->loop.wheel_profile());
+    }
+    return sum;
+  }
 
   // Sends work across a shard boundary: `fn` runs on shard `dst`'s loop at
   // (send time + latency). Must be called from shard `src`'s execution
@@ -122,8 +266,9 @@ class ShardedEventLoop {
       s.loop.ScheduleAfter(latency, std::move(fn));
       return;
     }
-    ENOKI_CHECK_MSG(latency >= opts_.epoch_ns,
-                    "cross-shard latency below the epoch lookahead bound");
+    ENOKI_CHECK_MSG(latency >= LookaheadBound(),
+                    "cross-shard latency below the epoch lookahead bound "
+                    "(adaptive mode: register the smallest latency in use)");
     if (opts_.nshards == 1) {
       s.loop.ScheduleAfter(latency, std::move(fn));
       return;
@@ -149,7 +294,9 @@ class ShardedEventLoop {
       if (gmin > deadline) {
         break;
       }
-      RunEpoch(EpochTarget(gmin, deadline));
+      bool leapt = false;
+      const Time target = EpochTarget(gmin, deadline, &leapt);
+      RunEpoch(target, leapt);
     }
     if (now_ < deadline) {
       // No events in (now_, deadline]: just advance every clock.
@@ -171,7 +318,9 @@ class ShardedEventLoop {
       if (gmin == kTimeMax) {
         return;
       }
-      RunEpoch(EpochTarget(gmin, kTimeMax));
+      bool leapt = false;
+      const Time target = EpochTarget(gmin, kTimeMax, &leapt);
+      RunEpoch(target, leapt);
     }
   }
 
@@ -242,19 +391,48 @@ class ShardedEventLoop {
     return t;
   }
 
-  // Next horizon. The window must be at most epoch_ns wide so the lookahead
-  // argument holds; when the next event is beyond one window the start leaps
-  // to (gmin - epoch_ns), which is safe because the skipped span is empty.
-  Time EpochTarget(Time gmin, Time deadline) const {
-    Time start = now_;
-    if (gmin > opts_.epoch_ns && gmin - opts_.epoch_ns > start) {
-      start = gmin - opts_.epoch_ns;
+  // Upper bound the effective window may ever reach — the lookahead clamp
+  // PostCross latencies are checked against. Static mode: the fixed
+  // epoch_ns. Adaptive mode: the smallest registered cross-shard latency
+  // (optionally capped by max_epoch_ns); with nothing registered the window
+  // cannot widen, so the bound stays epoch_ns.
+  Duration LookaheadBound() const {
+    if (!opts_.adaptive_epochs) {
+      return opts_.epoch_ns;
     }
-    return std::min(start + opts_.epoch_ns, deadline);
+    Duration c = min_cross_latency_;
+    if (opts_.max_epoch_ns > 0) {
+      c = std::min(c, opts_.max_epoch_ns);
+    }
+    return c == kTimeMax ? opts_.epoch_ns : std::max(c, opts_.epoch_ns);
   }
 
-  void RunEpoch(Time target) {
+  Duration WindowFloor() const {
+    if (opts_.min_epoch_ns > 0) {
+      return std::min(opts_.min_epoch_ns, opts_.epoch_ns);
+    }
+    return std::max<Duration>(opts_.epoch_ns / 4, 1);
+  }
+
+  // Next horizon. The window must be at most window_ wide so the lookahead
+  // argument holds; when the next event is beyond one window the start leaps
+  // to (gmin - window_), which is safe because the skipped span is empty.
+  // Sets *leapt when the start leapt an idle span (a controller input).
+  Time EpochTarget(Time gmin, Time deadline, bool* leapt) const {
+    Time start = now_;
+    *leapt = false;
+    if (gmin > window_ && gmin - window_ > start) {
+      start = gmin - window_;
+      *leapt = true;
+    }
+    return std::min(start + window_, deadline);
+  }
+
+  void RunEpoch(Time target, bool leapt) {
     ++epochs_;
+    ++prof_.epochs;
+    prof_.idle_leaps += leapt ? 1 : 0;
+    const uint64_t events_before = events_executed();
     if (threads_ == 1) {
       for (auto& sh : shards_) {
         sh->loop.RunUntil(target);
@@ -268,13 +446,29 @@ class ShardedEventLoop {
       // Workers' release increments of done_workers_ pair with this acquire
       // loop: once observed, all their shard mutations and outbox pushes
       // happen-before the merge below.
+      ProfTimer wait_timer(&prof_.barrier_ns);
       while (done_workers_.load(std::memory_order_acquire) < threads_ - 1) {
         std::this_thread::yield();
       }
       done_workers_.store(0, std::memory_order_relaxed);
     }
-    CommitMailboxes(target);
+    const uint64_t committed = CommitMailboxes(target);
     now_ = target;
+    if (opts_.adaptive_epochs) {
+      if (controller_ == nullptr) {
+        EpochController::Config cc;
+        cc.floor = WindowFloor();
+        cc.ceiling = LookaheadBound();
+        cc.period = opts_.controller_period;
+        cc.mailbox_slots = opts_.mailbox_slots;
+        controller_ = std::make_unique<EpochController>(cc);
+        window_ = std::clamp(window_, cc.floor, cc.ceiling);
+      }
+      // Committed counts only: identical for every host thread count, so
+      // the window schedule (and the run) stays byte-identical too.
+      window_ = controller_->OnEpoch(window_, committed, events_executed() - events_before,
+                                     leapt);
+    }
   }
 
   void RunOwnedShards(int worker, Time target) {
@@ -304,7 +498,8 @@ class ShardedEventLoop {
   // order — a total order (seq is unique per src) that does not depend on
   // which thread ran which shard, so destination-loop insertion sequence
   // numbers are reproducible for any thread count.
-  void CommitMailboxes(Time target) {
+  uint64_t CommitMailboxes(Time target) {
+    ProfTimer commit_timer(&prof_.commit_ns);
     scratch_.clear();
     for (auto& sh : shards_) {
       while (auto m = sh->outbox.Pop()) {
@@ -312,7 +507,7 @@ class ShardedEventLoop {
       }
     }
     if (scratch_.empty()) {
-      return;
+      return 0;
     }
     std::sort(scratch_.begin(), scratch_.end(), [](const CrossMsg& a, const CrossMsg& b) {
       if (a.deliver_at != b.deliver_at) {
@@ -333,6 +528,8 @@ class ShardedEventLoop {
       }
       shards_[static_cast<size_t>(m.dst)]->loop.ScheduleAt(m.deliver_at, std::move(m.fn));
     }
+    prof_.commit_msgs += scratch_.size();
+    return scratch_.size();
   }
 
   static uint64_t MixMerge(uint64_t h, const CrossMsg& m) {
@@ -356,6 +553,10 @@ class ShardedEventLoop {
   uint64_t epochs_ = 0;
   uint64_t cross_messages_ = 0;
   uint64_t merge_hash_ = 14695981039346656037ull;
+  Duration window_;  // effective epoch width (moved by the controller)
+  Duration min_cross_latency_ = kTimeMax;  // smallest RegisterCrossLatency
+  std::unique_ptr<EpochController> controller_;  // built lazily, adaptive only
+  ShardProfile prof_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<CrossMsg> scratch_;  // reused merge buffer
   MergeObserver merge_observer_;

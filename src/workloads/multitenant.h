@@ -1,9 +1,11 @@
 // Open-loop multi-tenant workload for the large sharded machines.
 //
 // The ROADMAP's datacenter story: a 128- or 256-CPU multi-socket box serving
-// many independent tenants, each an open-loop Poisson request stream handled
-// by a per-NUMA-node worker pool, with a configurable fraction of requests
-// handing off to a *remote* node on completion (cross-node RPC fan-out).
+// many independent tenants, each an open-loop request stream (Poisson by
+// default; Pareto or log-normal inter-arrivals for heavy-tailed burstiness)
+// handled by a per-NUMA-node worker pool, with a configurable fraction of
+// requests handing off to a *remote* node on completion (cross-node RPC
+// fan-out).
 //
 // The simulated workload is defined over G tenant groups, G = machine.nodes,
 // and is the *same simulation* under both engines:
@@ -28,6 +30,7 @@
 #define SRC_WORKLOADS_MULTITENANT_H_
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,15 +45,41 @@
 
 namespace enoki {
 
+// Tenant inter-arrival process. Poisson (exponential gaps) models the
+// well-behaved aggregate; the heavy-tailed options model real multitenant
+// traffic where a few tenants burst: gaps are mean-matched to
+// rate_per_tenant, so the long-run rate is identical across distributions —
+// only the burstiness changes.
+enum class ArrivalDist {
+  kPoisson,
+  kPareto,     // type-I Pareto gaps, shape pareto_alpha (> 1)
+  kLogNormal,  // log-normal gaps, sigma lognormal_sigma
+};
+
 struct MultitenantConfig {
   MachineSpec machine = MachineSpec::FourNode128();
   // 1 (whole box on one loop) or machine.nodes (one shard per NUMA node).
   int nshards = 4;
   int shard_threads = 0;  // 0 = ENOKI_SHARD_THREADS (default 1)
   Duration epoch_ns = 20'000;
+  // Adaptive epoch control (see ShardedEventLoop::Options): the engine
+  // retunes the window within [min_epoch_ns, remote_latency] from committed
+  // traffic. Off by default so static-mode configs stay byte-identical.
+  bool adaptive_epochs = false;
+  Duration min_epoch_ns = 0;  // 0 = epoch_ns / 4
 
-  int tenants_per_group = 16;       // Poisson streams per NUMA node
+  int tenants_per_group = 16;       // arrival streams per NUMA node
   double rate_per_tenant = 4'000.0; // requests/sec per tenant
+  ArrivalDist arrival = ArrivalDist::kPoisson;
+  double pareto_alpha = 1.5;     // heavier tail as alpha -> 1
+  double lognormal_sigma = 1.2;  // sigma of the underlying normal
+  // Slab warming hint applied to machine.warm_events_per_cpu (see
+  // SchedCore::Start): pre-size each shard loop's event pool for this many
+  // live events per simulated CPU. 0 disables warming. The default was sized
+  // from bench_simperf's prof_slab_allocs counter: 12/CPU covers the peak
+  // (per-CPU tick + tenant chains + wakeup/preempt timers) with zero
+  // demand-growth slabs on the mt128/mt256 configs.
+  int warm_events_per_cpu = 12;
   Duration service_mean = Microseconds(10);
   int workers_per_group = 48;
   // Fraction of completions that spawn a follow-up request on another node.
@@ -69,6 +98,10 @@ struct MultitenantResult {
   uint64_t cross_messages = 0;  // committed through shard mailboxes
   uint64_t events = 0;
   uint64_t epochs = 0;
+  uint64_t idle_leaps = 0;      // epochs whose window start leapt idle time
+  uint64_t widens = 0;          // adaptive controller WIDEN decisions
+  uint64_t narrows = 0;         // adaptive controller NARROW decisions
+  Duration final_window_ns = 0; // effective epoch width at run end
   Duration p50 = 0;
   Duration p99 = 0;
   // Digest of every shard core's state plus the merge order. Byte-identical
@@ -79,15 +112,19 @@ struct MultitenantResult {
 class MultitenantSim {
  public:
   explicit MultitenantSim(MultitenantConfig cfg)
-      : cfg_(cfg),
-        engine_(ShardedEventLoop::Options{cfg.nshards, cfg.epoch_ns, cfg.shard_threads,
-                                          RingBuffer<int>::CheckedCapacity<65536>()}) {
+      : cfg_(cfg), engine_(EngineOptions(cfg)) {
     const int ngroups = cfg_.machine.nodes;
     ENOKI_CHECK_MSG(cfg_.nshards == 1 || cfg_.nshards == ngroups,
                     "nshards must be 1 (unsharded) or machine.nodes (per-node shards)");
     ENOKI_CHECK(cfg_.remote_latency >= cfg_.epoch_ns);
+    ENOKI_CHECK_MSG(cfg_.arrival != ArrivalDist::kPareto || cfg_.pareto_alpha > 1.0,
+                    "Pareto arrivals need alpha > 1 for a finite mean-matched rate");
+    // The adaptive clamp: the window may widen up to the workload's only
+    // cross-shard latency, never past it.
+    engine_.RegisterCrossLatency(cfg_.remote_latency);
     const bool sharded = cfg_.nshards > 1;
     const int cpus_per_group = cfg_.machine.ncpus / ngroups;
+    cfg_.machine.warm_events_per_cpu = cfg_.warm_events_per_cpu;
 
     if (sharded) {
       for (int s = 0; s < ngroups; ++s) {
@@ -121,6 +158,17 @@ class MultitenantSim {
     }
   }
 
+  static ShardedEventLoop::Options EngineOptions(const MultitenantConfig& cfg) {
+    ShardedEventLoop::Options o;
+    o.nshards = cfg.nshards;
+    o.epoch_ns = cfg.epoch_ns;
+    o.threads = cfg.shard_threads;
+    o.mailbox_slots = RingBuffer<int>::CheckedCapacity<65536>();
+    o.adaptive_epochs = cfg.adaptive_epochs;
+    o.min_epoch_ns = cfg.min_epoch_ns;
+    return o;
+  }
+
   MultitenantResult Run() {
     for (auto& core : cores_) {
       core->Start();
@@ -145,9 +193,23 @@ class MultitenantSim {
       h = Mix(h, core->Fingerprint());
     }
     h = Mix(h, engine_.MergeFingerprint());
+    const ShardProfile prof = engine_.profile();
+    // Folding the epoch/controller counters into the fingerprint makes the
+    // determinism sweeps assert the adaptive claim directly: the controller's
+    // decision sequence must match across thread counts, not just its
+    // downstream effects.
+    h = Mix(h, prof.epochs);
+    h = Mix(h, prof.idle_leaps);
+    h = Mix(h, prof.widens);
+    h = Mix(h, prof.narrows);
+    h = Mix(h, engine_.window_ns());
     r.cross_messages = engine_.cross_messages();
     r.events = engine_.events_executed();
     r.epochs = engine_.epochs();
+    r.idle_leaps = prof.idle_leaps;
+    r.widens = prof.widens;
+    r.narrows = prof.narrows;
+    r.final_window_ns = engine_.window_ns();
     r.p50 = merged.Percentile(50.0);
     r.p99 = merged.Percentile(99.0);
     r.fingerprint = h;
@@ -168,6 +230,9 @@ class MultitenantSim {
   struct Group {
     explicit Group(size_t cap)
         : ring(ArenaAllocator<Request>(&arena)), wq("mt-grp") {
+      // Warm first so the ring lands in one chunk instead of growing the
+      // arena through doubling chunks on the way up.
+      arena.Warm(cap * sizeof(Request));
       ring.resize(cap);  // fixed ring: the run's only queue allocation
     }
     int index = 0;
@@ -222,6 +287,31 @@ class MultitenantSim {
   Duration ServiceSample(Rng& rng) const {
     return static_cast<Duration>(
         std::max(1.0, rng.NextExponential(static_cast<double>(cfg_.service_mean))));
+  }
+
+  // Inter-arrival gap for one tenant, mean-matched to rate_per_tenant across
+  // all distributions (so heavy-tailed configs change burstiness, not load).
+  Duration ArrivalGap(Rng& rng) const {
+    const double mean = 1e9 / cfg_.rate_per_tenant;
+    double gap = mean;
+    switch (cfg_.arrival) {
+      case ArrivalDist::kPoisson:
+        gap = rng.NextExponential(mean);
+        break;
+      case ArrivalDist::kPareto: {
+        // E[X] = alpha*xm/(alpha-1), so xm = mean*(alpha-1)/alpha.
+        const double a = cfg_.pareto_alpha;
+        gap = rng.NextPareto(a, mean * (a - 1.0) / a);
+        break;
+      }
+      case ArrivalDist::kLogNormal: {
+        // E[X] = exp(mu + sigma^2/2), so mu = ln(mean) - sigma^2/2.
+        const double s = cfg_.lognormal_sigma;
+        gap = rng.NextLogNormal(std::log(mean) - 0.5 * s * s, s);
+        break;
+      }
+    }
+    return static_cast<Duration>(std::max(1.0, gap));
   }
 
   // With probability remote_fraction, a completed request fans out to a
@@ -282,14 +372,14 @@ class MultitenantSim {
           grp.policy, /*nice=*/0, mask);
     }
 
-    // Tenants: open-loop Poisson arrival processes generated from event
-    // context (external clients), one rescheduling event chain each. The
-    // callback carries one shared_ptr, fitting the loop's inline buffer.
+    // Tenants: open-loop arrival processes (Poisson or heavy-tailed, per
+    // cfg_.arrival) generated from event context (external clients), one
+    // rescheduling event chain each. The callback carries one shared_ptr,
+    // fitting the loop's inline buffer.
     struct Tenant {
       MultitenantSim* sim;
       Group* g;
       Rng rng;
-      double mean_gap_ns;
       Time end;
     };
     struct TenantGen {
@@ -299,18 +389,14 @@ class MultitenantSim {
         Push(*t.g, Request{t.g->core->now(), t.sim->ServiceSample(t.rng)});
         t.g->core->Signal(&t.g->wq, /*sync=*/false, /*from_cpu=*/t.g->first_cpu);
         if (t.g->core->now() < t.end) {
-          const Duration gap = static_cast<Duration>(
-              std::max(1.0, t.rng.NextExponential(t.mean_gap_ns)));
-          t.g->core->loop().ScheduleAfter(gap, *this);
+          t.g->core->loop().ScheduleAfter(t.sim->ArrivalGap(t.rng), *this);
         }
       }
     };
-    const double mean_gap_ns = 1e9 / cfg_.rate_per_tenant;
     for (int i = 0; i < cfg_.tenants_per_group; ++i) {
-      auto st = std::make_shared<Tenant>(Tenant{this, &grp, Rng(seeder.Next()), mean_gap_ns,
-                                                cfg_.warmup + cfg_.runtime});
-      const Duration first = static_cast<Duration>(
-          std::max(1.0, st->rng.NextExponential(mean_gap_ns)));
+      auto st = std::make_shared<Tenant>(
+          Tenant{this, &grp, Rng(seeder.Next()), cfg_.warmup + cfg_.runtime});
+      const Duration first = ArrivalGap(st->rng);
       grp.core->loop().ScheduleAfter(first, TenantGen{std::move(st)});
     }
   }

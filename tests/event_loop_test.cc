@@ -588,5 +588,165 @@ TEST(ShardedDeterminism, RejectsLatencyBelowEpoch) {
   EXPECT_DEATH(engine.PostCross(0, 1, 4'999, [] {}), "lookahead");
 }
 
+// ---------------------------------------------------------------------------
+// EpochController unit tests. The controller is pure (committed counts in,
+// window out), so its decision sequence is tested directly without an engine.
+// ---------------------------------------------------------------------------
+
+EpochController::Config ControllerConfig() {
+  EpochController::Config cfg;
+  cfg.floor = 5'000;
+  cfg.ceiling = 80'000;
+  cfg.period = 4;
+  cfg.mailbox_slots = 1024;
+  cfg.widen_density = 16;
+  return cfg;
+}
+
+TEST(EpochController, WidensOnDensityUpToCeiling) {
+  EpochController c(ControllerConfig());
+  Duration w = 10'000;
+  // Dense, quiet-mailbox epochs: 100 events, no messages, no leaps. Every
+  // period the window should double until the ceiling clamp holds it.
+  for (int epoch = 0; epoch < 4 * 8; ++epoch) {
+    w = c.OnEpoch(w, /*committed_msgs=*/0, /*events=*/100, /*leapt=*/false);
+  }
+  EXPECT_EQ(w, 80'000u);  // 10k -> 20k -> 40k -> 80k, then held at ceiling
+  EXPECT_EQ(c.widens(), 3u);
+  EXPECT_EQ(c.narrows(), 0u);
+}
+
+TEST(EpochController, NarrowsUnderMailboxPressureDownToFloor) {
+  EpochController c(ControllerConfig());
+  Duration w = 80'000;
+  // avg 300 msgs/epoch * 4 >= 1024 slots: overflow risk, halve every period.
+  for (int epoch = 0; epoch < 4 * 8; ++epoch) {
+    w = c.OnEpoch(w, /*committed_msgs=*/300, /*events=*/1000, /*leapt=*/false);
+  }
+  EXPECT_EQ(w, 5'000u);  // 80k -> 40k -> 20k -> 10k -> 5k, then floor
+  EXPECT_EQ(c.narrows(), 4u);
+  EXPECT_EQ(c.widens(), 0u);
+}
+
+TEST(EpochController, HoldsWhenLeapDominated) {
+  EpochController c(ControllerConfig());
+  Duration w = 10'000;
+  // Half the epochs leapt idle time: the traffic is sparse bursts, so the
+  // density average is meaningless and the controller must hold.
+  for (int epoch = 0; epoch < 4 * 8; ++epoch) {
+    w = c.OnEpoch(w, /*committed_msgs=*/0, /*events=*/100,
+                  /*leapt=*/(epoch % 2) == 0);
+  }
+  EXPECT_EQ(w, 10'000u);
+  EXPECT_EQ(c.widens(), 0u);
+  EXPECT_EQ(c.narrows(), 0u);
+}
+
+TEST(EpochController, DecidesOnlyAtPeriodBoundaries) {
+  EpochController::Config cfg = ControllerConfig();
+  cfg.period = 8;
+  EpochController c(cfg);
+  Duration w = 10'000;
+  for (int epoch = 0; epoch < 7; ++epoch) {
+    w = c.OnEpoch(w, 0, 1000, false);
+    EXPECT_EQ(w, 10'000u) << "decision before the period boundary";
+  }
+  w = c.OnEpoch(w, 0, 1000, false);
+  EXPECT_EQ(w, 20'000u);
+  EXPECT_EQ(c.widens(), 1u);
+}
+
+TEST(EpochController, ClampsOutOfRangeWindowImmediately) {
+  EpochController c(ControllerConfig());
+  // Even mid-period (no decision yet) the returned window obeys the bounds:
+  // the clamp invariant is unconditional, not a decision outcome.
+  EXPECT_EQ(c.OnEpoch(200'000, 0, 0, false), 80'000u);
+  EXPECT_EQ(c.OnEpoch(1, 0, 0, false), 5'000u);
+  EXPECT_EQ(c.widens(), 0u);
+  EXPECT_EQ(c.narrows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-path and profile-counter tests.
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopProfile, WarmSlabsPreventsDemandGrowth) {
+  EventLoop warm;
+  warm.WarmSlabs(1000);
+  for (int i = 0; i < 1000; ++i) {
+    warm.ScheduleAt(1'000 + i, [] {});
+  }
+  // Warming is not demand growth: slab_allocs names only allocations forced
+  // by a full pool, and the pool never filled.
+  EXPECT_EQ(warm.wheel_profile().slab_allocs, 0u);
+
+  EventLoop cold;
+  for (int i = 0; i < 1000; ++i) {
+    cold.ScheduleAt(1'000 + i, [] {});
+  }
+  // 256 events per slab: 1000 live events demand-grow 4 slabs.
+  EXPECT_EQ(cold.wheel_profile().slab_allocs, 4u);
+}
+
+TEST(EventLoopProfile, CountsCascadesAndOverflowPulls) {
+  EventLoop loop;
+  // An event several wheel levels up must cascade down before executing.
+  loop.ScheduleAt(100'000, [] {});
+  loop.RunUntilIdle();
+  EXPECT_GE(loop.wheel_profile().cascades, 1u);
+
+  EventLoop far;
+  // Beyond the 64^8-ns wheel span: parked in the overflow heap, pulled into
+  // the wheel when the clock approaches.
+  far.ScheduleAt((Time{1} << 48) + 5, [] {});
+  far.RunUntilIdle();
+  EXPECT_EQ(far.wheel_profile().overflow_pulls, 1u);
+  EXPECT_EQ(far.events_executed(), 1u);
+}
+
+// The clamp invariant end to end: with adaptive epochs on, the effective
+// window may widen under dense traffic but never past the minimum registered
+// cross-shard latency, and posts below that bound die loudly.
+TEST(ShardedDeterminism, AdaptiveWindowClampedToRegisteredLatency) {
+  ShardedEventLoop::Options opts;
+  opts.nshards = 2;
+  opts.epoch_ns = 5'000;
+  opts.threads = 1;
+  opts.adaptive_epochs = true;
+  opts.controller_period = 2;
+  ShardedEventLoop engine(opts);
+  engine.RegisterCrossLatency(20'000);
+  // Dense tickers on both shards: ~50 events per shard per 5us epoch, far
+  // above the widen threshold.
+  std::vector<std::function<void()>> ticks(2);
+  for (int s = 0; s < 2; ++s) {
+    EventLoop& shard = engine.shard(s);
+    std::function<void()>& self = ticks[static_cast<size_t>(s)];
+    self = [&shard, &self] {
+      if (shard.now() < 400'000) {
+        shard.ScheduleAt(shard.now() + 100, [&self] { self(); });
+      }
+    };
+    shard.ScheduleAt(100, [&self] { self(); });
+  }
+  engine.RunUntilIdle();
+  EXPECT_GT(engine.profile().widens, 0u);
+  EXPECT_EQ(engine.window_ns(), 20'000u)
+      << "widened to, and no further than, the registered latency";
+}
+
+TEST(ShardedDeterminism, AdaptiveRejectsPostBelowRegisteredLatency) {
+  ShardedEventLoop::Options opts;
+  opts.nshards = 2;
+  opts.epoch_ns = 5'000;
+  opts.threads = 1;
+  opts.adaptive_epochs = true;
+  ShardedEventLoop engine(opts);
+  engine.RegisterCrossLatency(20'000);
+  // The window may widen up to 20us, so a 10us cross latency — legal in
+  // static mode — would break lookahead here and must be rejected.
+  EXPECT_DEATH(engine.PostCross(0, 1, 10'000, [] {}), "lookahead");
+}
+
 }  // namespace
 }  // namespace enoki

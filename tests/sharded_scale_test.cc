@@ -68,6 +68,88 @@ TEST(ShardedScale, EightNode256FingerprintStableAcrossThreads) {
   EXPECT_EQ(serial.p99, parallel.p99);
 }
 
+MultitenantConfig AdaptiveScaleConfig(MachineSpec machine, int nshards) {
+  MultitenantConfig cfg = ScaleConfig(machine, nshards);
+  cfg.adaptive_epochs = true;
+  // 100us cross-node latency gives the controller real widening headroom
+  // (20us initial window -> up to 100us ceiling).
+  cfg.remote_latency = Microseconds(100);
+  return cfg;
+}
+
+// The adaptive-mode tentpole contract: the controller's inputs are committed
+// simulation state only, so the window schedule — and therefore the merged
+// fingerprint, which folds in epochs/widens/narrows/final window — is
+// byte-identical for any host thread count. Each thread count runs twice to
+// also catch state leaking through globals.
+TEST(ShardedScale, AdaptiveEpochsFingerprintStableAcrossThreads) {
+  const MachineSpec machine = MachineSpec::FourNode128();
+  MultitenantResult base;
+  bool have_base = false;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int threads : {1, 2, 4}) {
+      MultitenantConfig cfg = AdaptiveScaleConfig(machine, machine.nodes);
+      cfg.shard_threads = threads;
+      const MultitenantResult r = RunMultitenant(cfg);
+      EXPECT_GT(r.completed, 0u);
+      if (!have_base) {
+        base = r;
+        have_base = true;
+        EXPECT_GT(base.widens, 0u) << "controller never engaged";
+      } else {
+        EXPECT_EQ(r.fingerprint, base.fingerprint)
+            << "pass=" << pass << " threads=" << threads;
+        EXPECT_EQ(r.completed, base.completed);
+        EXPECT_EQ(r.events, base.events);
+        EXPECT_EQ(r.epochs, base.epochs);
+        EXPECT_EQ(r.widens, base.widens);
+        EXPECT_EQ(r.narrows, base.narrows);
+        EXPECT_EQ(r.final_window_ns, base.final_window_ns);
+        EXPECT_EQ(r.p99, base.p99);
+      }
+    }
+  }
+}
+
+// Adaptive epochs exist to amortize the barrier: on the same logical system
+// (identical cross-node latency) the widened windows must cut the epoch
+// count substantially without changing what the simulation computes.
+TEST(ShardedScale, AdaptiveEpochsCutEpochCountVsStatic) {
+  const MachineSpec machine = MachineSpec::FourNode128();
+  MultitenantConfig fixed = ScaleConfig(machine, machine.nodes);
+  fixed.remote_latency = Microseconds(100);
+  MultitenantConfig adaptive = AdaptiveScaleConfig(machine, machine.nodes);
+  const MultitenantResult a = RunMultitenant(fixed);
+  const MultitenantResult b = RunMultitenant(adaptive);
+  EXPECT_GT(a.epochs, 0u);
+  EXPECT_LT(b.epochs * 2, a.epochs)
+      << "adaptive mode should at least halve the epoch count here";
+  const double ratio =
+      static_cast<double>(b.completed) / static_cast<double>(a.completed);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+// With the window pinned (floor == ceiling == epoch_ns) the controller can
+// never move it, so adaptive mode must reproduce static mode byte for byte —
+// the adaptive machinery itself adds no nondeterminism.
+TEST(ShardedScale, AdaptivePinnedWindowMatchesStaticExactly) {
+  const MachineSpec machine = MachineSpec::FourNode128();
+  MultitenantConfig fixed = ScaleConfig(machine, machine.nodes);
+  fixed.remote_latency = fixed.epoch_ns;  // ceiling = epoch
+  MultitenantConfig pinned = fixed;
+  pinned.adaptive_epochs = true;
+  pinned.min_epoch_ns = fixed.epoch_ns;  // floor = epoch
+  const MultitenantResult a = RunMultitenant(fixed);
+  const MultitenantResult b = RunMultitenant(pinned);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(b.widens, 0u);
+  EXPECT_EQ(b.narrows, 0u);
+  EXPECT_EQ(b.final_window_ns, fixed.epoch_ns);
+}
+
 TEST(ShardedScale, ShardedBeatsUnshardedOnEventCountParity) {
   // The unsharded (nshards=1) and sharded (nshards=nodes) builds of the
   // workload simulate the same logical system: same groups, same pinned CPU

@@ -465,6 +465,74 @@ TEST(SimKernel, ShardedDeterminismSweepAcrossSeedsAndThreads) {
   }
 }
 
+// The same sweep with the epoch controller live: adaptive mode consumes only
+// committed state, so the widen/narrow schedule — folded into the fingerprint
+// along with the final window — must be identical across thread counts too.
+TEST(SimKernel, AdaptiveShardedDeterminismSweepAcrossSeedsAndThreads) {
+  const MachineSpec machine{16, 4, "4-node mini (4x4)"};
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    MultitenantConfig cfg;
+    cfg.machine = machine;
+    cfg.nshards = 4;
+    cfg.tenants_per_group = 2;
+    cfg.rate_per_tenant = 20'000.0;
+    cfg.workers_per_group = 3;
+    cfg.warmup = Microseconds(200);
+    cfg.runtime = Milliseconds(2);
+    cfg.seed = seed;
+    cfg.adaptive_epochs = true;
+    cfg.remote_latency = Microseconds(100);  // widening headroom above 20us
+
+    cfg.shard_threads = 1;
+    const MultitenantResult base = RunMultitenant(cfg);
+    ASSERT_GT(base.events, 0u) << "seed " << seed;
+    for (int threads : {1, 2, 4}) {
+      cfg.shard_threads = threads;
+      const MultitenantResult r = RunMultitenant(cfg);
+      ASSERT_EQ(r.fingerprint, base.fingerprint) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.completed, base.completed) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.events, base.events) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.epochs, base.epochs) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.widens, base.widens) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(r.final_window_ns, base.final_window_ns)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// Heavy-tailed arrivals must preserve the determinism contract and the
+// long-run rate: Pareto and log-normal gaps are mean-matched to the Poisson
+// configuration, so completed counts stay within burstiness slack.
+TEST(SimKernel, HeavyTailArrivalsDeterministicAndMeanMatched) {
+  const MachineSpec machine{16, 4, "4-node mini (4x4)"};
+  MultitenantConfig cfg;
+  cfg.machine = machine;
+  cfg.nshards = 4;
+  cfg.tenants_per_group = 2;
+  cfg.rate_per_tenant = 20'000.0;
+  cfg.workers_per_group = 3;
+  cfg.warmup = Milliseconds(1);
+  cfg.runtime = Milliseconds(20);
+  cfg.seed = 9;
+  cfg.arrival = ArrivalDist::kPoisson;
+  const MultitenantResult poisson = RunMultitenant(cfg);
+  ASSERT_GT(poisson.completed, 0u);
+  for (ArrivalDist dist : {ArrivalDist::kPareto, ArrivalDist::kLogNormal}) {
+    cfg.arrival = dist;
+    cfg.shard_threads = 1;
+    const MultitenantResult t1 = RunMultitenant(cfg);
+    cfg.shard_threads = 4;
+    const MultitenantResult t4 = RunMultitenant(cfg);
+    EXPECT_EQ(t1.fingerprint, t4.fingerprint);
+    EXPECT_EQ(t1.completed, t4.completed);
+    // Mean-matched: same long-run arrival rate despite the heavier tail.
+    const double ratio =
+        static_cast<double>(t1.completed) / static_cast<double>(poisson.completed);
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.3);
+  }
+}
+
 TEST(SimKernel, ShardedAndUnshardedAgreeOnThroughput) {
   // nshards=1 and nshards=nodes simulate the same logical system; completed
   // counts agree to within boundary-request slack.
