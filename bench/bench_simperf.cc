@@ -21,6 +21,9 @@
 //   --require-speedup-gate fail (instead of loudly skipping) the shard
 //                          speedup gates when the host has < 4 hardware
 //                          threads; set by the dedicated multi-core CI job
+//   --profile-top          after the throughput table, print each config's
+//                          top-5 count-type prof_* rows by value — the next
+//                          optimisation round's target, one command away
 //
 // Besides throughput rows, every config emits prof_* subsystem counters
 // (src/base/profile.h): timing-wheel cascades, slab/arena growth, epoch
@@ -132,10 +135,16 @@ struct GlobalCounterSnap {
 };
 
 void AppendWheelCounters(PerfResult* r, const WheelProfile& w) {
-  r->counters.emplace_back("prof_cascades", static_cast<double>(w.cascades));
-  r->counters.emplace_back("prof_overflow_pulls", static_cast<double>(w.overflow_pulls));
-  r->counters.emplace_back("prof_behind_inserts", static_cast<double>(w.behind_inserts));
-  r->counters.emplace_back("prof_slab_allocs", static_cast<double>(w.slab_allocs));
+  r->counters.emplace_back("prof_wheel_cascades", static_cast<double>(w.cascades));
+  r->counters.emplace_back("prof_wheel_bulk_cascades",
+                           static_cast<double>(w.bulk_cascades));
+  r->counters.emplace_back("prof_wheel_lane_hits", static_cast<double>(w.lane_hits));
+  r->counters.emplace_back("prof_wheel_lane_spills", static_cast<double>(w.lane_spills));
+  r->counters.emplace_back("prof_wheel_overflow_pulls",
+                           static_cast<double>(w.overflow_pulls));
+  r->counters.emplace_back("prof_wheel_behind_inserts",
+                           static_cast<double>(w.behind_inserts));
+  r->counters.emplace_back("prof_wheel_slab_allocs", static_cast<double>(w.slab_allocs));
 }
 
 void AppendGlobalCounters(PerfResult* r, const GlobalCounterSnap& before) {
@@ -160,8 +169,10 @@ PerfResult Measure(const std::string& name, uint64_t seed, MakeStackFn make_stac
   r.name = name;
   r.seed = seed;
   for (int rep = 0; rep < std::max(1, g_reps); ++rep) {
-    Stack s = make_stack();
+    // Snapshot before construction: prof_event_slabs/prof_arena_chunks gate
+    // the *whole process* — task creation included, not just the run phase.
     const GlobalCounterSnap snap = GlobalCounterSnap::Take();
+    Stack s = make_stack();
     const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
     const auto wall_start = std::chrono::steady_clock::now();
     body(s);
@@ -199,8 +210,10 @@ PerfResult MeasureMt(const std::string& name, const MultitenantConfig& cfg) {
   r.shard_threads = ShardedEventLoop::ResolveThreads(cfg.shard_threads, cfg.nshards);
   uint64_t fingerprint = 0;
   for (int rep = 0; rep < std::max(1, g_reps); ++rep) {
-    MultitenantSim sim(cfg);
+    // Snapshot before construction (see Measure): the slab-growth gate
+    // covers tenant/task creation, which precedes Start().
     const GlobalCounterSnap snap = GlobalCounterSnap::Take();
+    MultitenantSim sim(cfg);
     const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
     const auto wall_start = std::chrono::steady_clock::now();
     const MultitenantResult res = sim.Run();
@@ -216,6 +229,8 @@ PerfResult MeasureMt(const std::string& name, const MultitenantConfig& cfg) {
       r.counters.emplace_back("prof_epochs", static_cast<double>(prof.epochs));
       r.counters.emplace_back("prof_idle_leaps", static_cast<double>(prof.idle_leaps));
       r.counters.emplace_back("prof_commit_msgs", static_cast<double>(prof.commit_msgs));
+      r.counters.emplace_back("prof_commit_batched_msgs",
+                              static_cast<double>(prof.batched_msgs));
       r.counters.emplace_back("prof_widens", static_cast<double>(prof.widens));
       r.counters.emplace_back("prof_narrows", static_cast<double>(prof.narrows));
       r.counters.emplace_back("prof_final_window",
@@ -545,7 +560,10 @@ double BaselineValue(const std::vector<BaselineRow>& rows, const std::string& co
 //   allocs_per_event upper bound (relative tolerance + small absolute slack,
 //                    so a near-zero baseline is not impossibly tight)
 // A config present in the results but missing from the baseline fails the
-// check: new configs must land with baseline rows.
+// check: new configs must land with baseline rows. The reverse also fails:
+// a baseline config or count-type prof_* row the results no longer emit is a
+// silently retired gate (exactly how the cascade-rate blind spot happened —
+// a renamed counter would otherwise just stop being checked).
 int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::string& path,
                          double max_regress) {
   std::vector<BaselineRow> baseline;
@@ -613,11 +631,70 @@ int CheckAgainstBaseline(const std::vector<PerfResult>& results, const std::stri
       }
     }
   }
+  // Reverse direction: every baseline config must still be produced, and
+  // every count-type baseline prof_* row of a produced config must still be
+  // emitted under the same name.
+  for (const BaselineRow& b : baseline) {
+    const PerfResult* result = nullptr;
+    for (const PerfResult& r : results) {
+      if (r.name == b.config) {
+        result = &r;
+        break;
+      }
+    }
+    if (b.metric == "events") {
+      if (result == nullptr) {
+        std::fprintf(stderr,
+                     "STALE BASELINE %s: config no longer produced; regenerate %s\n",
+                     b.config.c_str(), path.c_str());
+        ++failures;
+      }
+      continue;
+    }
+    if (result == nullptr || b.metric.compare(0, 5, "prof_") != 0 ||
+        (b.metric.size() > 3 && b.metric.compare(b.metric.size() - 3, 3, "_ns") == 0)) {
+      continue;
+    }
+    bool emitted = false;
+    for (const auto& [counter, value] : result->counters) {
+      if (counter == b.metric) {
+        emitted = true;
+        break;
+      }
+    }
+    if (!emitted) {
+      std::fprintf(stderr,
+                   "STALE BASELINE %s %s: counter no longer emitted; regenerate %s\n",
+                   b.config.c_str(), b.metric.c_str(), path.c_str());
+      ++failures;
+    }
+  }
   if (failures == 0) {
     std::printf("baseline check: OK (tolerance %.0f%%, baseline %s)\n", max_regress * 100.0,
                 path.c_str());
   }
   return failures;
+}
+
+// Per-config top-5 count-type prof_* rows by value: the hottest cold paths,
+// i.e. the next optimisation round's profile-named target.
+void PrintProfileTop(const std::vector<PerfResult>& results) {
+  std::printf("\nprofile top-5 (count-type prof_* rows per config)\n");
+  for (const PerfResult& r : results) {
+    std::vector<std::pair<std::string, double>> rows;
+    for (const auto& [counter, value] : r.counters) {
+      if (counter.size() > 3 && counter.compare(counter.size() - 3, 3, "_ns") == 0) {
+        continue;  // wall-clock rows are not optimisation targets by count
+      }
+      rows.emplace_back(counter, value);
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("  %s:\n", r.name.c_str());
+    for (size_t i = 0; i < rows.size() && i < 5; ++i) {
+      std::printf("    %-28s %14.0f\n", rows[i].first.c_str(), rows[i].second);
+    }
+  }
 }
 
 int Run(int argc, char** argv) {
@@ -650,6 +727,10 @@ int Run(int argc, char** argv) {
     for (const auto& [counter, value] : r.counters) {
       json.Row(r.name, counter, value, r.seed);
     }
+  }
+
+  if (BenchHasFlag(argc, argv, "--profile-top")) {
+    PrintProfileTop(results);
   }
 
   int failures = CheckShardSpeedup(results, &json,

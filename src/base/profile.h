@@ -40,13 +40,19 @@ namespace enoki {
 // Per-EventLoop cold-path counters. Single-threaded by the loop's own
 // contract; merged across shard loops by ShardedEventLoop::WheelProfileSum.
 struct WheelProfile {
-  uint64_t cascades = 0;        // non-level-0 buckets redistributed
+  uint64_t cascades = 0;        // buckets redistributed event-by-event
+  uint64_t bulk_cascades = 0;   // buckets spliced whole into the express lane
+  uint64_t lane_hits = 0;       // events scheduled straight into the lane
+  uint64_t lane_spills = 0;     // events past the lane horizon parked in the wheel
   uint64_t overflow_pulls = 0;  // events pulled overflow-heap -> wheel
   uint64_t behind_inserts = 0;  // events scheduled behind the wheel clock
   uint64_t slab_allocs = 0;     // event-slab growths (also in GlobalCounters)
 
   void MergeFrom(const WheelProfile& o) {
     cascades += o.cascades;
+    bulk_cascades += o.bulk_cascades;
+    lane_hits += o.lane_hits;
+    lane_spills += o.lane_spills;
     overflow_pulls += o.overflow_pulls;
     behind_inserts += o.behind_inserts;
     slab_allocs += o.slab_allocs;
@@ -59,6 +65,7 @@ struct ShardProfile {
   uint64_t epochs = 0;        // committed epoch barriers
   uint64_t idle_leaps = 0;    // epochs whose window start leapt an idle span
   uint64_t commit_msgs = 0;   // cross-shard messages committed
+  uint64_t batched_msgs = 0;  // messages that rode an existing mailbox entry
   uint64_t widens = 0;        // controller WIDEN decisions applied
   uint64_t narrows = 0;       // controller NARROW decisions applied
   uint64_t commit_ns = 0;     // wall ns draining+sorting+committing outboxes

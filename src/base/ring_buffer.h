@@ -24,6 +24,23 @@
 
 namespace enoki {
 
+// Compile-time power-of-two capacity validation with a diagnosable failure:
+// a bad constant fails inside this instantiation, so the compiler's note
+// names both the offending N and the Caller tag type (the capacity-sensitive
+// user: a RingBuffer element type, the EventLoop express lane, ...) instead
+// of an anonymous static_assert with no context. Callers with runtime sizes
+// round up first (RingBuffer::RoundUpPow2).
+template <size_t N, typename Caller = void>
+struct Pow2Capacity {
+  static_assert(N > 0, "capacity N must be nonzero (see the Caller tag in the "
+                       "instantiation note above for the offending user)");
+  static_assert((N & (N - 1)) == 0,
+                "capacity N is not a power of two (the instantiation note above "
+                "names the offending N and the Caller it was requested for; use "
+                "RoundUpPow2 for runtime sizes, or pick 1<<k)");
+  static constexpr size_t value = N;
+};
+
 template <typename T>
 class RingBuffer {
  public:
@@ -40,13 +57,11 @@ class RingBuffer {
   }
 
   // Compile-time capacity validation: CheckedCapacity<48>() is a build
-  // error with a message, not a silently mis-masked ring.
+  // error whose instantiation trace names the offending N and this ring's
+  // element type, not a silently mis-masked ring.
   template <size_t N>
   static constexpr size_t CheckedCapacity() {
-    static_assert(N > 0 && (N & (N - 1)) == 0,
-                  "RingBuffer capacity must be a nonzero power of two "
-                  "(use RoundUpPow2 for runtime sizes, or pick 1<<k)");
-    return N;
+    return Pow2Capacity<N, RingBuffer<T>>::value;
   }
 
   // Constructs a ring whose capacity is validated at compile time; relies on

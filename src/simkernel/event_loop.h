@@ -11,10 +11,32 @@
 // cancelled (every compute segment and sleep arms a timer that a preemption
 // or wake may cancel). Design:
 //
+//  - a near-horizon *express lane* in front of the wheel: a power-of-two ring
+//    of 16384 slots, each one level-0 rotation (64 ns) wide, covering the
+//    next 2^20 ns. Profiling (prof_wheel_cascades was the top counter row on
+//    every config) showed the cascade loop dominated by short-deadline
+//    events — periodic ticks (1 ms), preemption timers, wakeup/IPI latencies,
+//    service completions — all of which fit under ~1 ms. Those events now
+//    schedule straight into their lane slot and never touch the wheel: no
+//    insert-level computation, no cascades, O(1) schedule and cancel
+//    preserved. Events past the horizon spill lazily into the wheel
+//    (prof_wheel_lane_spills) and re-enter the lane when their bucket drains.
 //  - kLevels levels of 64 buckets each; level L has 64^L-ns granularity, so
 //    the wheel spans 64^kLevels ns (~3.2 days of simulated time). Schedule
 //    and cancel are O(1); each event cascades down at most kLevels-1 times
 //    before it fires, so execution is amortized O(1) per event.
+//  - *bulk cascade*: when a drained bucket's whole range fits inside the lane
+//    horizon (the common case — any bucket being entered near the executed
+//    clock), the bucket is spliced into the lane in one pass
+//    (prof_wheel_bulk_cascades) instead of re-inserted event-by-event through
+//    intermediate levels. A spilled event therefore pays at most one hop
+//    (home level -> lane) rather than a kLevels-deep cascade chain.
+//  - deadline-class hints (DeadlineClass): callers that know an event's
+//    horizon class — SchedCore's periodic tick re-arm, policy timers via
+//    SchedClass::TimerDeadlineClass() — route placement directly (lane for
+//    near-horizon classes, home wheel level for far-periodic ones) instead of
+//    probing. Hints are promises about the common case, never correctness:
+//    a broken promise falls back to the probing path.
 //  - events beyond the wheel span wait in an overflow min-heap and are pulled
 //    into the wheel when their time comes within span.
 //  - the wheel clock (`wheel_now_`) may run ahead of executed time (`now_`)
@@ -46,6 +68,7 @@
 #include "src/base/check.h"
 #include "src/base/inline_function.h"
 #include "src/base/profile.h"
+#include "src/base/ring_buffer.h"
 #include "src/base/time.h"
 
 namespace enoki {
@@ -53,9 +76,28 @@ namespace enoki {
 using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
+// Horizon class a scheduling site may promise about its deadline. Hints are
+// routing advice, never correctness: a broken promise (a "near" event past
+// the lane horizon, a "far" timer inside it) just takes the other placement
+// path with identical observable ordering.
+enum class DeadlineClass : uint8_t {
+  kAuto,         // unknown: probe the express lane, spill to the wheel
+  kNearHorizon,  // promise: fires within EventLoop::kLaneSpanNs of now
+  kFarPeriodic,  // promise: periodic/far timer; skip the lane probe and
+                 // schedule straight into its home wheel level
+};
+
 class EventLoop {
  public:
-  EventLoop() = default;
+  // Express-lane horizon: events within this many ns of now() schedule into
+  // the lane (O(1), cascade-free). Sized so the cost-model's short deadlines
+  // — 1 ms periodic ticks, wake/IPI/context latencies, service completions —
+  // and the bulk of open-loop arrival gaps all fit (profiled: these dominate
+  // prof_wheel_cascades). Public so callers (SchedCore tick re-arm) can pick
+  // DeadlineClass hints against the real horizon instead of a magic number.
+  static constexpr Time kLaneSpanNs = Time{1} << 20;  // ~1.05 simulated ms
+
+  EventLoop() : lane_(kLaneSlots, nullptr), lane_words_(kLaneWords, 0) {}
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -65,6 +107,17 @@ class EventLoop {
   // can be passed to Cancel().
   template <typename F>
   EventId ScheduleAt(Time at, F&& cb) {
+    return ScheduleAtHint(at, DeadlineClass::kAuto, std::forward<F>(cb));
+  }
+
+  template <typename F>
+  EventId ScheduleAfter(Duration delay, F&& cb) {
+    return ScheduleAtHint(now_ + delay, DeadlineClass::kAuto, std::forward<F>(cb));
+  }
+
+  // Hinted variants: identical semantics, placement routed by `hint`.
+  template <typename F>
+  EventId ScheduleAtHint(Time at, DeadlineClass hint, F&& cb) {
     ENOKI_CHECK(at >= now_);
     Event* ev = AllocEvent();
     ev->at = at;
@@ -72,36 +125,13 @@ class EventLoop {
     ev->cancelled = false;
     ev->cb.Set(std::forward<F>(cb));
     ++live_events_;
-    if (at < wheel_now_) {
-      ev->where = Where::kBehindHeap;
-      ++profile_.behind_inserts;
-      HeapPush(&behind_, ev);
-    } else {
-      // The cached minimum came from a scan that cascaded every bucket whose
-      // range starts at or before it. An insert into such a bucket must
-      // force a rescan even when the event itself is later than the cached
-      // time — otherwise a cache-hit staging advances the wheel clock into
-      // the bucket's range with the event still parked at a high level,
-      // where the rotation labeling no longer describes it. Compare at
-      // bucket granularity: invalidate when the event's bucket range begins
-      // at or before the cached minimum.
-      if (wheel_peek_valid_) {
-        const int level = LevelFor(at - wheel_now_);
-        const int shift = kLevelBits * level;
-        if (level >= kLevels
-                ? at <= wheel_peek_cache_
-                : (at >> shift) <= (wheel_peek_cache_ >> shift)) {
-          wheel_peek_valid_ = false;
-        }
-      }
-      InsertWheel(ev);
-    }
+    Place(ev, hint);
     return MakeId(ev);
   }
 
   template <typename F>
-  EventId ScheduleAfter(Duration delay, F&& cb) {
-    return ScheduleAt(now_ + delay, std::forward<F>(cb));
+  EventId ScheduleAfterHint(Duration delay, DeadlineClass hint, F&& cb) {
+    return ScheduleAtHint(now_ + delay, hint, std::forward<F>(cb));
   }
 
   // Cancels a pending event in O(1) and destroys its callback immediately —
@@ -114,11 +144,21 @@ class EventLoop {
     ENOKI_CHECK_MSG(ev != nullptr, "event cancelled twice or already fired");
     ENOKI_CHECK(live_events_ > 0);
     --live_events_;
+    ev->cb.Reset();  // eager: the closure dies now
+    if (ev->where == Where::kLane) {
+      // Removing the (possibly sole) earliest lane event moves the lane
+      // minimum; the wheel cache is untouched by lane membership.
+      if (lane_peek_valid_ && ev->at <= lane_peek_cache_) {
+        lane_peek_valid_ = false;
+      }
+      UnlinkFromLane(ev);
+      FreeEvent(ev);
+      return;
+    }
     // Removing the (possibly sole) earliest event moves the wheel minimum.
     if (wheel_peek_valid_ && ev->at <= wheel_peek_cache_) {
       wheel_peek_valid_ = false;
     }
-    ev->cb.Reset();  // eager: the closure dies now
     if (ev->where == Where::kBucket) {
       UnlinkFromBucket(ev);
       FreeEvent(ev);
@@ -142,9 +182,12 @@ class EventLoop {
       return due_[due_pos_]->at;
     }
     PurgeHeapTop(&behind_);
+    // WheelPeek first: entering a bucket's range may splice it into the
+    // lane, so the lane minimum is only meaningful after the wheel scan.
     const Time wheel_t = WheelPeek();
+    const Time lane_t = LanePeek();
     const Time behind_t = behind_.empty() ? kTimeMax : behind_.front()->at;
-    return std::min(wheel_t, behind_t);
+    return std::min({wheel_t, lane_t, behind_t});
   }
 
   // Runs the earliest pending event. Returns false when the queue is empty.
@@ -228,8 +271,24 @@ class EventLoop {
   static constexpr uint32_t kSlabBits = 8;
   static constexpr uint32_t kSlabSize = 1u << kSlabBits;  // events per slab
 
+  // Express lane: a ring of slots one level-0 rotation (64 ns) wide, so a
+  // slot never splits a level-0 bucket, covering exactly kLaneSpanNs. The
+  // lane window is anchored to the *slot-aligned* executed clock — every
+  // lane event satisfies LaneBase() <= at < LaneBase() + kLaneSpanNs — so a
+  // slot index maps to exactly one 64-ns range within the window and the
+  // circular scan from LaneSlotOf(now_) visits slots in time order. The
+  // window only moves forward and all pending events are >= now_, so the
+  // invariant survives every clock advance without relocation.
+  static constexpr int kLaneSlotBits = kLevelBits;  // 64 ns per slot
+  static constexpr uint32_t kLaneSlots =
+      static_cast<uint32_t>(Pow2Capacity<size_t{1} << 14, EventLoop>::value);
+  static constexpr uint32_t kLaneWords = kLaneSlots / 64;  // occupancy bitmap
+  static_assert(Time{kLaneSlots} << kLaneSlotBits == kLaneSpanNs,
+                "lane geometry must cover exactly the advertised horizon");
+
   enum class Where : uint8_t {
     kFree,
+    kLane,          // intrusive doubly-linked list in an express-lane slot
     kBucket,        // intrusive doubly-linked list in a wheel bucket
     kBehindHeap,    // scheduled behind the wheel clock
     kOverflowHeap,  // beyond the wheel span
@@ -306,6 +365,149 @@ class EventLoop {
       return nullptr;
     }
     return ev;
+  }
+
+  // Routes a fresh event into the lane, the behind-heap, or the wheel.
+  void Place(Event* ev, DeadlineClass hint) {
+    if (hint != DeadlineClass::kFarPeriodic) {
+      if (LaneEligible(ev->at)) {
+        ++profile_.lane_hits;
+        LaneInsert(ev);
+        return;
+      }
+      ++profile_.lane_spills;
+    }
+    if (ev->at < wheel_now_) {
+      ev->where = Where::kBehindHeap;
+      ++profile_.behind_inserts;
+      HeapPush(&behind_, ev);
+      return;
+    }
+    // The cached minimum came from a scan that cascaded every bucket whose
+    // range starts at or before it. An insert into such a bucket must
+    // force a rescan even when the event itself is later than the cached
+    // time — otherwise a cache-hit staging advances the wheel clock into
+    // the bucket's range with the event still parked at a high level,
+    // where the rotation labeling no longer describes it. Compare at
+    // bucket granularity: invalidate when the event's bucket range begins
+    // at or before the cached minimum.
+    if (wheel_peek_valid_) {
+      const int level = LevelFor(ev->at - wheel_now_);
+      const int shift = kLevelBits * level;
+      if (level >= kLevels
+              ? ev->at <= wheel_peek_cache_
+              : (ev->at >> shift) <= (wheel_peek_cache_ >> shift)) {
+        wheel_peek_valid_ = false;
+      }
+    }
+    InsertWheel(ev);
+  }
+
+  // ---- Express lane ----
+
+  // Start of the lane window: the executed clock rounded down to a slot
+  // boundary. Anchoring to the slot boundary (not now_ itself) keeps the
+  // window exactly kLaneSlots slot-ranges wide, so no two in-window times
+  // share a slot index.
+  Time LaneBase() const { return (now_ >> kLaneSlotBits) << kLaneSlotBits; }
+
+  bool LaneEligible(Time at) const { return at - LaneBase() < kLaneSpanNs; }
+
+  static uint32_t LaneSlotOf(Time at) {
+    return static_cast<uint32_t>(at >> kLaneSlotBits) & (kLaneSlots - 1);
+  }
+
+  void LaneInsert(Event* ev) {
+    const uint32_t slot = LaneSlotOf(ev->at);
+    ev->where = Where::kLane;
+    ev->prev = nullptr;
+    ev->next = lane_[slot];
+    if (ev->next != nullptr) {
+      ev->next->prev = ev;
+    }
+    lane_[slot] = ev;
+    lane_words_[slot >> 6] |= uint64_t{1} << (slot & 63);
+    ++lane_live_;
+    // An insert can only lower the minimum, so the cache stays valid.
+    if (lane_peek_valid_ && ev->at < lane_peek_cache_) {
+      lane_peek_cache_ = ev->at;
+    }
+  }
+
+  void UnlinkFromLane(Event* ev) {
+    const uint32_t slot = LaneSlotOf(ev->at);
+    if (ev->prev != nullptr) {
+      ev->prev->next = ev->next;
+    } else {
+      lane_[slot] = ev->next;
+      if (ev->next == nullptr) {
+        lane_words_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+      }
+    }
+    if (ev->next != nullptr) {
+      ev->next->prev = ev->prev;
+    }
+    ev->prev = ev->next = nullptr;
+    ENOKI_CHECK(lane_live_ > 0);
+    --lane_live_;
+  }
+
+  // First occupied slot in circular time order from LaneSlotOf(now_): the
+  // first word is masked to bits at or after now_'s slot, then the scan
+  // walks the bitmap circularly and finally revisits the start word
+  // unmasked to pick up the wrapped tail of the window.
+  int FindFirstLaneSlot() const {
+    const uint32_t s0 = LaneSlotOf(now_);
+    const uint32_t w0 = s0 >> 6;
+    uint64_t word = lane_words_[w0] & (~uint64_t{0} << (s0 & 63));
+    for (uint32_t i = 0;; ++i) {
+      if (word != 0) {
+        const uint32_t w = (w0 + i) & (kLaneWords - 1);
+        return static_cast<int>((w << 6) | static_cast<uint32_t>(std::countr_zero(word)));
+      }
+      if (i == kLaneWords) {
+        return -1;
+      }
+      word = lane_words_[(w0 + i + 1) & (kLaneWords - 1)];
+    }
+  }
+
+  // Earliest lane event time, or kTimeMax when the lane is empty. Cached for
+  // the same reason as WheelPeek; a slot is 64 ns wide, so the min within
+  // the first occupied slot needs one short list scan (lane events are
+  // unlinked on cancel, never tombstoned).
+  Time LanePeek() {
+    if (lane_peek_valid_) {
+      return lane_peek_cache_;
+    }
+    if (lane_live_ == 0) {
+      lane_peek_cache_ = kTimeMax;
+      lane_peek_valid_ = true;
+      return kTimeMax;
+    }
+    const int slot = FindFirstLaneSlot();
+    ENOKI_CHECK(slot >= 0);
+    Time best = kTimeMax;
+    for (const Event* ev = lane_[slot]; ev != nullptr; ev = ev->next) {
+      best = std::min(best, ev->at);
+    }
+    lane_peek_cache_ = best;
+    lane_peek_valid_ = true;
+    return best;
+  }
+
+  // Moves every lane event at exactly `t` into due_.
+  void StageLane(Time t) {
+    Event* ev = lane_[LaneSlotOf(t)];
+    while (ev != nullptr) {
+      Event* next = ev->next;
+      if (ev->at == t) {
+        UnlinkFromLane(ev);
+        ev->where = Where::kStaged;
+        due_.push_back(ev);
+      }
+      ev = next;
+    }
   }
 
   // ---- Wheel ----
@@ -471,14 +673,33 @@ class EventLoop {
         wheel_peek_valid_ = true;
         return best_start;
       }
-      // Enter the bucket's range and redistribute it into lower levels.
-      ++profile_.cascades;
+      // Enter the bucket's range and redistribute it. Common case (bulk
+      // cascade): the bucket's whole range fits inside the lane window —
+      // every event in it is >= now_ and < the lane horizon — so the bucket
+      // is spliced into the lane in one pass and pays no further cascades.
+      // Otherwise fall back to per-event redistribution, still routing each
+      // lane-eligible event out of the wheel.
       wheel_now_ = best_start;
       Event* ev = TakeBucket(best_level, best_idx);
-      while (ev != nullptr) {
-        Event* next = ev->next;
-        InsertWheel(ev);
-        ev = next;
+      const Time width = Time{1} << (kLevelBits * best_level);
+      if (best_start + width <= LaneBase() + kLaneSpanNs) {
+        ++profile_.bulk_cascades;
+        while (ev != nullptr) {
+          Event* next = ev->next;
+          LaneInsert(ev);
+          ev = next;
+        }
+      } else {
+        ++profile_.cascades;
+        while (ev != nullptr) {
+          Event* next = ev->next;
+          if (LaneEligible(ev->at)) {
+            LaneInsert(ev);
+          } else {
+            InsertWheel(ev);
+          }
+          ev = next;
+        }
       }
     }
   }
@@ -487,9 +708,11 @@ class EventLoop {
   // sorted by insertion seq. Returns false when no events are pending.
   bool StageNextBatch() {
     PurgeHeapTop(&behind_);
+    // WheelPeek before LanePeek: bulk cascades move events into the lane.
     const Time wheel_t = WheelPeek();
+    const Time lane_t = LanePeek();
     const Time behind_t = behind_.empty() ? kTimeMax : behind_.front()->at;
-    const Time t = std::min(wheel_t, behind_t);
+    const Time t = std::min({wheel_t, lane_t, behind_t});
     if (t == kTimeMax) {
       return false;
     }
@@ -504,6 +727,10 @@ class EventLoop {
         due_.push_back(ev);
         ev = next;
       }
+    }
+    if (lane_t == t) {
+      lane_peek_valid_ = false;  // consuming the minimum's slot entries
+      StageLane(t);
     }
     while (!behind_.empty() && behind_.front()->at == t) {
       Event* ev = HeapPop(&behind_);
@@ -560,6 +787,12 @@ class EventLoop {
   uint64_t next_seq_ = 0;
   uint64_t live_events_ = 0;
   uint64_t executed_ = 0;
+
+  std::vector<Event*> lane_;          // kLaneSlots intrusive slot lists
+  std::vector<uint64_t> lane_words_;  // kLaneWords occupancy bitmap
+  uint64_t lane_live_ = 0;
+  Time lane_peek_cache_ = 0;  // last LanePeek() result, if still valid
+  bool lane_peek_valid_ = false;
 
   uint64_t occupied_[kLevels] = {};
   Event* buckets_[kLevels][kBucketsPerLevel] = {};

@@ -20,6 +20,7 @@ SchedCore::SchedCore(MachineSpec spec, SimCosts costs)
   ENOKI_CHECK(spec.node_of.empty() ||
               spec.node_of.size() == static_cast<size_t>(spec.ncpus));
   ENOKI_CHECK(!spec.smt_pairs || spec.ncpus % 2 == 0);
+  WarmLoop();
 }
 
 SchedCore::SchedCore(MachineSpec spec, SimCosts costs, EventLoop* loop)
@@ -30,6 +31,19 @@ SchedCore::SchedCore(MachineSpec spec, SimCosts costs, EventLoop* loop)
   ENOKI_CHECK(spec.node_of.empty() ||
               spec.node_of.size() == static_cast<size_t>(spec.ncpus));
   ENOKI_CHECK(!spec.smt_pairs || spec.ncpus % 2 == 0);
+  WarmLoop();
+}
+
+void SchedCore::WarmLoop() {
+  if (spec_.warm_events_per_cpu > 0) {
+    // Shard-local slab warming, at construction rather than Start(): task and
+    // tenant creation precede Start(), and their wake events must draw from
+    // the pre-grown pool too for whole-process prof_event_slabs to stay 0.
+    // The hint travels through ShardSpec, so every shard core warms its own
+    // loop.
+    loop_->WarmSlabs(static_cast<size_t>(spec_.ncpus) *
+                     static_cast<size_t>(spec_.warm_events_per_cpu));
+  }
 }
 
 SchedCore::~SchedCore() = default;
@@ -54,23 +68,28 @@ int SchedCore::ClassPriority(const SchedClass* cls) const {
 void SchedCore::Start() {
   ENOKI_CHECK(!started_);
   started_ = true;
-  if (spec_.warm_events_per_cpu > 0) {
-    // Shard-local slab warming: reach the pool's high-water mark before the
-    // run instead of growing mid-run (the hint travels through ShardSpec, so
-    // every shard core warms its own loop).
-    loop_->WarmSlabs(static_cast<size_t>(spec_.ncpus) *
-                     static_cast<size_t>(spec_.warm_events_per_cpu));
-  }
   if (!ticks_enabled_) {
     return;
   }
   for (int cpu = 0; cpu < spec_.ncpus; ++cpu) {
-    // Stagger ticks across CPUs so they do not fire in lockstep.
+    // Stagger ticks across CPUs so they do not fire in lockstep. The initial
+    // delay can reach ~2x tick_ns — possibly past the lane horizon — so it
+    // takes no deadline promise; steady-state re-arms (TickFired) do.
     const Duration offset = costs_.tick_ns * static_cast<Duration>(cpu) /
                             static_cast<Duration>(spec_.ncpus);
     cpus_[cpu].tick_event =
         loop_->ScheduleAfter(costs_.tick_ns + offset, [this, cpu] { TickFired(cpu); });
   }
+}
+
+// Horizon class of the periodic tick's steady-state re-arm: known at
+// construction from the cost model, so every tick re-arm routes without a
+// probe — into the express lane for sub-horizon tick periods (the default
+// 1 ms fits), straight to its home wheel level otherwise.
+DeadlineClass SchedCore::TickDeadlineClass() const {
+  return static_cast<Time>(costs_.tick_ns) < EventLoop::kLaneSpanNs
+             ? DeadlineClass::kNearHorizon
+             : DeadlineClass::kFarPeriodic;
 }
 
 bool SchedCore::RunUntilAllExit(Time deadline) {
@@ -230,7 +249,7 @@ void SchedCore::KickCpu(int cpu, int from_cpu) {
 }
 
 EventId SchedCore::ArmClassTimer(int cpu, Duration delay, SchedClass* cls) {
-  return loop_->ScheduleAfter(delay, [this, cpu, cls] {
+  return loop_->ScheduleAfterHint(delay, cls->TimerDeadlineClass(), [this, cpu, cls] {
     cls->TimerFired(cpu);
     CpuState& c = cpus_[cpu];
     if (c.need_resched && c.current != nullptr && !c.in_switch) {
@@ -516,7 +535,8 @@ void SchedCore::TickFired(int cpu) {
     // so classes get a balance/steal opportunity even with no local events.
     Schedule(cpu);
   }
-  c.tick_event = loop_->ScheduleAfter(costs_.tick_ns, [this, cpu] { TickFired(cpu); });
+  c.tick_event = loop_->ScheduleAfterHint(costs_.tick_ns, TickDeadlineClass(),
+                                          [this, cpu] { TickFired(cpu); });
 }
 
 void SchedCore::SetTaskPolicy(Task* t, int policy) {

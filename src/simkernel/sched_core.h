@@ -216,6 +216,10 @@ class SchedCore {
   EventId ArmClassTimer(int cpu, Duration delay, SchedClass* cls);
   void CancelClassTimer(EventId id) { loop_->Cancel(id); }
 
+  // Placement hint for the periodic tick's steady-state re-arm, derived from
+  // the cost model's tick period against the event loop's lane horizon.
+  DeadlineClass TickDeadlineClass() const;
+
   // Runtime of a task including its in-progress on-CPU segment.
   Duration TaskRuntime(const Task* t) const;
 
@@ -304,6 +308,7 @@ class SchedCore {
   // balancing analog).
   static constexpr uint64_t kIdleBalanceTicks = 4;
 
+  void WarmLoop();
   void WakeTaskInternal(Task* t, bool sync, int from_cpu, bool is_new);
   void Schedule(int cpu);
   Task* PickNext(int cpu);

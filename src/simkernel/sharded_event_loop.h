@@ -167,6 +167,13 @@ class ShardedEventLoop {
     // two; overflow is a checked error, not a drop — dropping would make
     // output depend on timing.
     size_t mailbox_slots = RingBuffer<int>::CheckedCapacity<4096>();
+    // Coalesce consecutive same-(deliver_time, src) cross-shard messages
+    // into one mailbox entry, expanded at commit (prof_batched_msgs counts
+    // the riders). Purely a commit-cost optimization: the committed order,
+    // MergeFingerprint, and run output are byte-identical either way (the
+    // determinism sweep asserts this). Off = every message is a batch of 1
+    // through the same code path.
+    bool batched_commit = true;
     // Adaptive epochs: let an EpochController retune the effective window
     // between epochs. epoch_ns becomes the *initial* window; the controller
     // moves it within [min_epoch_ns, min registered cross-shard latency].
@@ -273,13 +280,23 @@ class ShardedEventLoop {
       s.loop.ScheduleAfter(latency, std::move(fn));
       return;
     }
-    CrossMsg m;
-    m.deliver_at = s.loop.now() + latency;
-    m.src = src;
-    m.dst = dst;
-    m.seq = ++s.out_seq;
-    m.fn = std::move(fn);
-    ENOKI_CHECK_MSG(s.outbox.Push(std::move(m)), "shard outbox overflow (bounded mailbox)");
+    const Time deliver_at = s.loop.now() + latency;
+    const uint64_t seq = ++s.out_seq;
+    ENOKI_CHECK_MSG(s.subs.size() < opts_.mailbox_slots,
+                    "shard outbox overflow (bounded mailbox)");
+    s.subs.push_back(CrossSub{dst, std::move(fn)});
+    // Batched commit: a message sent at the same instant as the open batch
+    // rides it — its seq is the next in the batch's contiguous run by
+    // construction (out_seq increments once per send, and the batch has
+    // absorbed every send since it opened).
+    if (opts_.batched_commit && s.open.count > 0 && s.open.deliver_at == deliver_at) {
+      ++s.open.count;
+      return;
+    }
+    if (s.open.count > 0) {
+      ENOKI_CHECK_MSG(s.outbox.Push(s.open), "shard outbox overflow (bounded mailbox)");
+    }
+    s.open = CrossMsg{deliver_at, src, seq, static_cast<uint32_t>(s.subs.size() - 1), 1};
   }
 
   // Runs all events with time <= deadline; on return now() == deadline.
@@ -365,18 +382,36 @@ class ShardedEventLoop {
   }
 
  private:
+  // One sub-message of a batch: destination shard + closure. Stored in the
+  // sending shard's `subs` side vector; batch headers reference contiguous
+  // runs of it by index.
+  struct CrossSub {
+    int dst = 0;
+    std::function<void()> fn;
+  };
+
+  // Batch header travelling through the SPSC outbox: `count` sub-messages
+  // sharing one (deliver_at, src), with contiguous seqs starting at
+  // first_seq and payloads at subs[sub_base .. sub_base+count). With
+  // batching off every header has count == 1, so the unbatched engine is
+  // the same code path, not a second one.
   struct CrossMsg {
     Time deliver_at = 0;
     int src = 0;
-    int dst = 0;
-    uint64_t seq = 0;
-    std::function<void()> fn;
+    uint64_t first_seq = 0;
+    uint32_t sub_base = 0;
+    uint32_t count = 0;
   };
 
   struct Shard {
     explicit Shard(size_t mailbox_slots) : outbox(mailbox_slots) {}
     EventLoop loop;
-    RingBuffer<CrossMsg> outbox;  // producer: shard thread; consumer: barrier
+    RingBuffer<CrossMsg> outbox;  // batch headers; producer: shard thread
+    // (dst, fn) payloads for this epoch's batches. Written by the shard's
+    // epoch thread, read and cleared by the barrier thread at commit — the
+    // epoch barrier's acquire/release pair orders both directions.
+    std::vector<CrossSub> subs;
+    CrossMsg open;  // open (unpushed) batch; count == 0 means none
     uint64_t out_seq = 0;
   };
 
@@ -498,12 +533,29 @@ class ShardedEventLoop {
   // order — a total order (seq is unique per src) that does not depend on
   // which thread ran which shard, so destination-loop insertion sequence
   // numbers are reproducible for any thread count.
+  //
+  // Batching preserves that order exactly: headers sort by
+  // (deliver_at, src, first_seq) and each expands to its contiguous seq run
+  // first_seq .. first_seq+count-1 at a single (deliver_at, src). Any two
+  // batches either differ in (deliver_at, src) — ordered the same as every
+  // message they contain — or share it, in which case their seq runs are
+  // disjoint and the earlier first_seq's entire run precedes the later's
+  // (seqs are assigned monotonically per src). Expansion therefore emits the
+  // identical sequence a per-message sort would, and the fingerprint mixes
+  // each (deliver_at, src, dst, seq) individually — byte-for-byte the
+  // unbatched digest.
   uint64_t CommitMailboxes(Time target) {
     ProfTimer commit_timer(&prof_.commit_ns);
     scratch_.clear();
     for (auto& sh : shards_) {
       while (auto m = sh->outbox.Pop()) {
-        scratch_.push_back(std::move(*m));
+        scratch_.push_back(*m);
+      }
+      // The still-open batch never went through the ring; the epoch barrier
+      // ordered the shard thread's writes, so it is taken directly.
+      if (sh->open.count > 0) {
+        scratch_.push_back(sh->open);
+        sh->open.count = 0;
       }
     }
     if (scratch_.empty()) {
@@ -516,23 +568,35 @@ class ShardedEventLoop {
       if (a.src != b.src) {
         return a.src < b.src;
       }
-      return a.seq < b.seq;
+      return a.first_seq < b.first_seq;
     });
-    for (CrossMsg& m : scratch_) {
+    uint64_t committed = 0;
+    for (const CrossMsg& m : scratch_) {
       // Lookahead held: the message cannot land inside the epoch that sent it.
       ENOKI_CHECK(m.deliver_at >= target);
-      merge_hash_ = MixMerge(merge_hash_, m);
-      ++cross_messages_;
-      if (merge_observer_) {
-        merge_observer_(m.deliver_at, m.src, m.dst, m.seq);
+      Shard& src_shard = *shards_[static_cast<size_t>(m.src)];
+      prof_.batched_msgs += m.count - 1;
+      for (uint32_t i = 0; i < m.count; ++i) {
+        CrossSub& sub = src_shard.subs[m.sub_base + i];
+        const uint64_t seq = m.first_seq + i;
+        merge_hash_ = MixMerge(merge_hash_, m.deliver_at, m.src, sub.dst, seq);
+        ++cross_messages_;
+        if (merge_observer_) {
+          merge_observer_(m.deliver_at, m.src, sub.dst, seq);
+        }
+        shards_[static_cast<size_t>(sub.dst)]->loop.ScheduleAt(m.deliver_at,
+                                                               std::move(sub.fn));
+        ++committed;
       }
-      shards_[static_cast<size_t>(m.dst)]->loop.ScheduleAt(m.deliver_at, std::move(m.fn));
     }
-    prof_.commit_msgs += scratch_.size();
-    return scratch_.size();
+    for (auto& sh : shards_) {
+      sh->subs.clear();
+    }
+    prof_.commit_msgs += committed;
+    return committed;
   }
 
-  static uint64_t MixMerge(uint64_t h, const CrossMsg& m) {
+  static uint64_t MixMerge(uint64_t h, Time deliver_at, int src, int dst, uint64_t seq) {
     auto mix = [](uint64_t acc, uint64_t v) {
       for (int i = 0; i < 8; ++i) {
         acc ^= (v >> (i * 8)) & 0xff;
@@ -540,10 +604,10 @@ class ShardedEventLoop {
       }
       return acc;
     };
-    h = mix(h, m.deliver_at);
-    h = mix(h, static_cast<uint64_t>(m.src));
-    h = mix(h, static_cast<uint64_t>(m.dst));
-    h = mix(h, m.seq);
+    h = mix(h, deliver_at);
+    h = mix(h, static_cast<uint64_t>(src));
+    h = mix(h, static_cast<uint64_t>(dst));
+    h = mix(h, seq);
     return h;
   }
 

@@ -50,6 +50,13 @@ class LegacyEventLoop {
     return id;
   }
 
+  // Hints are placement advice, never semantics: the heap oracle accepts and
+  // ignores them, so the differential fuzzer can hand the wheel arbitrary
+  // (including wrong) DeadlineClass hints and still demand identical output.
+  EventId ScheduleAtHint(Time at, DeadlineClass /*hint*/, Callback cb) {
+    return ScheduleAt(at, std::move(cb));
+  }
+
   void Cancel(EventId id) {
     ENOKI_CHECK(id != kInvalidEventId);
     auto inserted = cancelled_.insert(id).second;
@@ -153,13 +160,17 @@ struct Mirror {
   // Schedules top-level event `i` at `at`. A "busy" event also exercises the
   // reentrant path: on firing it schedules two children at now()+child_delta
   // and immediately cancels the second (schedule+cancel inside a callback).
-  void ScheduleTop(size_t i, Time at, bool busy, Time child_delta) {
+  // The hint is fuzzed independently of the delta, so kFarPeriodic lands on
+  // near events and kNearHorizon on far ones — broken promises must degrade
+  // to fallback placement, never to reordering.
+  void ScheduleTop(size_t i, Time at, bool busy, Time child_delta,
+                   DeadlineClass hint) {
     if (top_ids.size() <= i) {
       top_ids.resize(i + 1, kInvalidEventId);
       top_fired.resize(i + 1, false);
       top_cancelled.resize(i + 1, false);
     }
-    top_ids[i] = loop.ScheduleAt(at, [this, i, busy, child_delta] {
+    top_ids[i] = loop.ScheduleAtHint(at, hint, [this, i, busy, child_delta] {
       top_fired[i] = true;
       log.push_back("t" + std::to_string(i));
       log_times.push_back(loop.now());
@@ -197,9 +208,12 @@ void ExpectLockstep(const Mirror<A>& a, const Mirror<B>& b, uint64_t seed,
 }
 
 // Deltas spanning every wheel level: same-time, level 0 (<64 ns), mid levels,
-// the top wheel level, and beyond the 2^48 ns span (overflow heap).
+// the top wheel level, and beyond the 2^48 ns span (overflow heap) — plus the
+// express-lane window: anywhere inside it (slot wraparound as the base
+// advances) and a tight band straddling the spill edge at kLaneSpanNs, where
+// an off-by-one in LaneEligible would misplace events.
 Time RandomDelta(std::mt19937_64& rng) {
-  switch (rng() % 8) {
+  switch (rng() % 10) {
     case 0:
       return 0;
     case 1:
@@ -214,6 +228,11 @@ Time RandomDelta(std::mt19937_64& rng) {
       return (Time{1} << 40) + rng() % 1024;  // high wheel level
     case 6:
       return (Time{1} << 49) + rng() % 1024;  // overflow heap
+    case 7:
+      // Lane spill boundary: eligibility flips inside this band.
+      return EventLoop::kLaneSpanNs - 600 + rng() % 1200;
+    case 8:
+      return rng() % EventLoop::kLaneSpanNs;  // full lane window, slot wrap
     default:
       return 1 + rng() % 1000;
   }
@@ -233,9 +252,10 @@ void FuzzOneSeed(uint64_t seed) {
       const Time at = legacy.loop.now() + RandomDelta(rng);
       const bool busy = rng() % 4 == 0;
       const Time child_delta = rng() % 3 == 0 ? 0 : rng() % 1000;
+      const auto hint = static_cast<DeadlineClass>(rng() % 3);
       const size_t i = next_top++;
-      legacy.ScheduleTop(i, at, busy, child_delta);
-      wheel.ScheduleTop(i, at, busy, child_delta);
+      legacy.ScheduleTop(i, at, busy, child_delta, hint);
+      wheel.ScheduleTop(i, at, busy, child_delta, hint);
     } else if (op < 60) {
       // Cancel a random live top-level event (both mirrors agree on
       // liveness, or ExpectLockstep already failed).
@@ -401,6 +421,44 @@ TEST(EventLoopLifetime, CancelDestroysOverflowCallbackEagerly) {
   EXPECT_FALSE(loop.HasWork());
 }
 
+// Lane events are intrusively linked, so cancel must unlink and reclaim them
+// immediately — no tombstones, no retained captures, and HasWork must go
+// false the moment the only lane event dies.
+TEST(EventLoopLifetime, CancelUnlinksLaneEventEagerly) {
+  struct Tracker {
+    explicit Tracker(int* p) : live(p) { ++*live; }
+    Tracker(const Tracker& o) : live(o.live) { ++*live; }
+    ~Tracker() { --*live; }
+    int* live;
+  };
+
+  EventLoop loop;
+  int live = 0;
+  const EventId near = loop.ScheduleAt(100, [t = Tracker(&live)] {
+    FAIL() << "cancelled event ran";
+    (void)t;
+  });
+  ASSERT_EQ(loop.wheel_profile().lane_hits, 1u) << "event should be lane-resident";
+  ASSERT_GT(live, 0);
+  loop.Cancel(near);
+  EXPECT_EQ(live, 0);
+  EXPECT_FALSE(loop.HasWork());
+  EXPECT_FALSE(loop.RunOne());
+
+  // Cancel in the middle of a populated slot list, then run the survivors.
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    // Same 64-ns lane slot, distinct times: exercises unordered-list unlink.
+    ids.push_back(loop.ScheduleAt(6'400 + i % 4, [&fired, i] { fired.push_back(i); }));
+  }
+  loop.Cancel(ids[2]);
+  loop.Cancel(ids[5]);
+  loop.Cancel(ids[7]);
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, (std::vector<int>{0, 4, 1, 6, 3}));  // time, then seq order
+}
+
 // Ids must be generation-checked: a slot reused by a later event must not be
 // cancellable through the earlier event's id.
 TEST(EventLoopLifetime, ExecutedCountAndSlotReuse) {
@@ -483,13 +541,14 @@ struct CascadeRun {
   uint64_t cross = 0;
 };
 
-CascadeRun RunCascade(int threads) {
+CascadeRun RunCascade(int threads, bool batched_commit = true) {
   static constexpr int kShards = 4;
   static constexpr Duration kEpoch = 1'000;
   ShardedEventLoop::Options opts;
   opts.nshards = kShards;
   opts.epoch_ns = kEpoch;
   opts.threads = threads;
+  opts.batched_commit = batched_commit;
   ShardedEventLoop engine(opts);
 
   CascadeRun out;
@@ -545,6 +604,82 @@ TEST(ShardedDeterminism, CascadeIdenticalAcrossThreadCounts) {
     EXPECT_EQ(t1.fingerprint, tn.fingerprint) << "threads=" << threads;
     EXPECT_EQ(t1.events, tn.events) << "threads=" << threads;
     EXPECT_EQ(t1.cross, tn.cross) << "threads=" << threads;
+  }
+}
+
+// Batched commit must be observably invisible: identical execution order,
+// identical merge observer sequence, and a byte-identical fingerprint whether
+// cross-shard messages travel one per mailbox entry or coalesced — at every
+// host thread count.
+TEST(ShardedDeterminism, BatchedCommitMatchesUnbatchedAcrossThreadCounts) {
+  const CascadeRun batched = RunCascade(1, /*batched_commit=*/true);
+  for (int threads : {1, 2, 4}) {
+    const CascadeRun plain = RunCascade(threads, /*batched_commit=*/false);
+    EXPECT_EQ(batched.exec_log, plain.exec_log) << "threads=" << threads;
+    EXPECT_EQ(batched.merge_log, plain.merge_log) << "threads=" << threads;
+    EXPECT_EQ(batched.fingerprint, plain.fingerprint) << "threads=" << threads;
+    EXPECT_EQ(batched.events, plain.events) << "threads=" << threads;
+    EXPECT_EQ(batched.cross, plain.cross) << "threads=" << threads;
+  }
+}
+
+// Same-instant sends from one shard are the case batching exists for: all of
+// them share (deliver_time, src), so they must travel as ONE mailbox entry
+// (prof batched_msgs counts the coalesced tail) and still expand to the exact
+// per-message merge sequence and delivery order of the unbatched engine.
+struct BurstRun {
+  uint64_t fingerprint = 0;
+  uint64_t cross = 0;
+  uint64_t batched = 0;
+  std::vector<std::string> merge_log;
+  std::vector<int> delivered;
+};
+
+BurstRun RunSameInstantBurst(bool batched_commit) {
+  ShardedEventLoop::Options opts;
+  opts.nshards = 2;
+  opts.epoch_ns = 1'000;
+  opts.threads = 1;
+  opts.batched_commit = batched_commit;
+  ShardedEventLoop engine(opts);
+  BurstRun out;
+  engine.set_merge_observer([&out](Time at, int src, int dst, uint64_t seq) {
+    out.merge_log.push_back(std::to_string(at) + ":" + std::to_string(src) +
+                            ">" + std::to_string(dst) + "#" + std::to_string(seq));
+  });
+  // One callback fires 8 cross posts at the same instant with the same
+  // latency: same deliver_at, same src, contiguous seqs — one batch. A second
+  // burst at a different instant must open a fresh batch.
+  for (Time start : {Time{100}, Time{5'000}}) {
+    engine.shard(0).ScheduleAt(start, [&engine, &out] {
+      for (int i = 0; i < 8; ++i) {
+        const int tag = static_cast<int>(engine.shard(0).now()) + i;
+        engine.PostCross(0, 1, 2'000, [&out, tag] { out.delivered.push_back(tag); });
+      }
+    });
+  }
+  engine.RunUntilIdle();
+  out.fingerprint = engine.MergeFingerprint();
+  out.cross = engine.cross_messages();
+  out.batched = engine.profile().batched_msgs;
+  return out;
+}
+
+TEST(ShardedDeterminism, BatchedCommitCoalescesSameInstantBursts) {
+  const BurstRun on = RunSameInstantBurst(true);
+  const BurstRun off = RunSameInstantBurst(false);
+  ASSERT_EQ(on.cross, 16u);
+  ASSERT_EQ(off.cross, 16u);
+  // Two 8-message bursts: 7 coalesced tails each when batching is on.
+  EXPECT_EQ(on.batched, 14u);
+  EXPECT_EQ(off.batched, 0u);
+  // Identical observable output either way, including intra-batch order.
+  EXPECT_EQ(on.fingerprint, off.fingerprint);
+  EXPECT_EQ(on.merge_log, off.merge_log);
+  EXPECT_EQ(on.delivered, off.delivered);
+  ASSERT_EQ(on.delivered.size(), 16u);
+  for (size_t i = 1; i < 8; ++i) {
+    EXPECT_LT(on.delivered[i - 1], on.delivered[i]) << "send order violated";
   }
 }
 
@@ -690,8 +825,9 @@ TEST(EventLoopProfile, WarmSlabsPreventsDemandGrowth) {
 
 TEST(EventLoopProfile, CountsCascadesAndOverflowPulls) {
   EventLoop loop;
-  // An event several wheel levels up must cascade down before executing.
-  loop.ScheduleAt(100'000, [] {});
+  // An event several wheel levels up — and beyond the express lane span, so
+  // it cannot be absorbed by the lane — must cascade down before executing.
+  loop.ScheduleAt(100'000'000, [] {});
   loop.RunUntilIdle();
   EXPECT_GE(loop.wheel_profile().cascades, 1u);
 
@@ -702,6 +838,57 @@ TEST(EventLoopProfile, CountsCascadesAndOverflowPulls) {
   far.RunUntilIdle();
   EXPECT_EQ(far.wheel_profile().overflow_pulls, 1u);
   EXPECT_EQ(far.events_executed(), 1u);
+}
+
+TEST(EventLoopProfile, LaneAbsorbsNearHorizonEvents) {
+  EventLoop loop;
+  loop.ScheduleAt(500, [] {});                            // lane hit
+  loop.ScheduleAt(EventLoop::kLaneSpanNs - 1, [] {});     // last eligible ns
+  loop.ScheduleAt(EventLoop::kLaneSpanNs + 10, [] {});    // past window: spill
+  EXPECT_EQ(loop.wheel_profile().lane_hits, 2u);
+  EXPECT_EQ(loop.wheel_profile().lane_spills, 1u);
+  // Lane events are not behind-heap inserts and need no cascades.
+  EXPECT_EQ(loop.wheel_profile().behind_inserts, 0u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.events_executed(), 3u);
+}
+
+TEST(EventLoopProfile, FarPeriodicHintSkipsLaneProbe) {
+  EventLoop loop;
+  // kFarPeriodic promises the event is out of lane range: no probe, and no
+  // spill counted (a spill names a *probed* miss, not a skipped probe).
+  loop.ScheduleAtHint(Time{1} << 30, DeadlineClass::kFarPeriodic, [] {});
+  EXPECT_EQ(loop.wheel_profile().lane_spills, 0u);
+  EXPECT_EQ(loop.wheel_profile().lane_hits, 0u);
+
+  // A broken promise falls back to wheel placement — correct order, just
+  // without the lane fast path.
+  std::vector<int> order;
+  loop.ScheduleAtHint(10, DeadlineClass::kFarPeriodic, [&] { order.push_back(1); });
+  loop.ScheduleAtHint(20, DeadlineClass::kNearHorizon, [&] { order.push_back(2); });
+  loop.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.wheel_profile().lane_hits, 1u);
+  EXPECT_EQ(loop.wheel_profile().lane_spills, 0u);
+}
+
+TEST(EventLoopProfile, BulkCascadeSplicesWholeBucketIntoLane) {
+  EventLoop loop;
+  int fired = 0;
+  // Wheel resident from t=0: beyond the lane span, cascaded to level 0 on the
+  // first peek while now() is still far away.
+  loop.ScheduleAt(2'000'000, [&fired] { ++fired; });
+  loop.ScheduleAt(1'000, [&loop, &fired] {
+    ++fired;
+    // Scheduled mid-run ~2.1ms ahead: lands in the wheel. The wheel is not
+    // re-scanned until the 2'000'000 event executes; by then the whole bucket
+    // fits inside the lane window, so the drain is a single splice.
+    loop.ScheduleAt(2'100'000, [&fired] { ++fired; });
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.events_executed(), 3u);
+  EXPECT_GE(loop.wheel_profile().bulk_cascades, 1u);
 }
 
 // The clamp invariant end to end: with adaptive epochs on, the effective

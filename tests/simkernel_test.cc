@@ -465,6 +465,43 @@ TEST(SimKernel, ShardedDeterminismSweepAcrossSeedsAndThreads) {
   }
 }
 
+// Batched mailbox commit is an encoding change, not a behaviour change: the
+// coalesced headers must expand to the exact per-message merge sequence, so
+// for every seed and host thread count the fingerprint and all scalar outputs
+// are identical with coalescing on and off.
+TEST(SimKernel, BatchedCommitFingerprintInvariantAcrossSeedsAndThreads) {
+  const MachineSpec machine{16, 4, "4-node mini (4x4)"};
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    MultitenantConfig cfg;
+    cfg.machine = machine;
+    cfg.nshards = 4;
+    cfg.tenants_per_group = 2;
+    cfg.rate_per_tenant = 20'000.0;
+    cfg.workers_per_group = 3;
+    cfg.warmup = Microseconds(200);
+    cfg.runtime = Milliseconds(2);
+    cfg.seed = seed;
+
+    cfg.batched_commit = true;
+    cfg.shard_threads = 1;
+    const MultitenantResult batched = RunMultitenant(cfg);
+    ASSERT_GT(batched.events, 0u) << "seed " << seed;
+    cfg.batched_commit = false;
+    for (int threads : {1, 2, 4}) {
+      cfg.shard_threads = threads;
+      const MultitenantResult plain = RunMultitenant(cfg);
+      ASSERT_EQ(plain.fingerprint, batched.fingerprint)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(plain.completed, batched.completed)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(plain.events, batched.events) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(plain.cross_messages, batched.cross_messages)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(plain.p99, batched.p99) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
 // The same sweep with the epoch controller live: adaptive mode consumes only
 // committed state, so the widen/narrow schedule — folded into the fingerprint
 // along with the final window — must be identical across thread counts too.
