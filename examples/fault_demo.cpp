@@ -12,6 +12,12 @@
 // the runtime fall to the terminal rung — quarantine, tasks re-policied
 // onto CFS, and a CrashReport (with the module's last calls, courtesy of
 // the record system) explaining what happened. Every task still completes.
+//
+// The ladder's supply line runs too: a periodic checkpoint cadence fills the
+// generation ring between upgrades, and the fault menu includes crashes
+// inside CheckpointNow itself — a save that dies mid-cadence escalates like
+// any other escaped exception, and the ring still holds the generations that
+// sealed before it.
 
 #include <cstdio>
 #include <memory>
@@ -31,10 +37,12 @@ using namespace enoki;
 int main() {
   SchedCore core(MachineSpec::OneSocket8(), SimCosts{});
 
-  // WFQ, sabotaged: every kind of module misbehavior at modest rates.
+  // WFQ, sabotaged: every kind of module misbehavior at modest rates,
+  // including crashes inside the periodic checkpoint save itself.
   const uint64_t seed = 42;
-  auto injector =
-      std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0), FaultPlan::FullMenu(seed));
+  FaultPlan plan = FaultPlan::FullMenu(seed);
+  plan.checkpoint_crash_rate = 0.25;
+  auto injector = std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0), plan);
 
   EnokiRuntime runtime(std::move(injector));
   CfsClass cfs;
@@ -54,12 +62,16 @@ int main() {
   runtime.EnableWatchdog(wcfg, cfs_policy);
 
   // Self-healing rung: up to 3 supervised restarts per rolling second, each
-  // restored from the last good checkpoint. (The replacement is just as
-  // buggy — same seed — so the demo usually climbs the whole ladder.)
-  runtime.EnableSupervisor(SupervisorConfig{}, [seed] {
-    return std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0),
-                                           FaultPlan::FullMenu(seed));
+  // restored from the newest valid generation in the ring. (The replacement
+  // is just as buggy — same seed — so the demo usually climbs the whole
+  // ladder.)
+  runtime.EnableSupervisor(SupervisorConfig{}, [plan] {
+    return std::make_unique<FaultInjector>(std::make_unique<WfqSched>(0), plan);
   });
+
+  // Periodic cadence: a fresh generation every 500us of simulated time, so a
+  // restore never has to reach back further than one cadence interval.
+  runtime.SetCheckpointInterval(Microseconds(500));
 
   std::printf("running pipe ping-pong under a sabotaged WFQ (seed %llu)...\n",
               static_cast<unsigned long long>(seed));
@@ -84,12 +96,28 @@ int main() {
               static_cast<unsigned long long>(counts.hint_floods),
               static_cast<unsigned long long>(counts.reinjected));
 
+  std::printf("\ncheckpoint cadence: %llu periodic saves, %llu saves crashed mid-cadence,\n"
+              "  %llu generations in the ring (newest seq %llu)\n",
+              static_cast<unsigned long long>(runtime.periodic_checkpoints()),
+              static_cast<unsigned long long>(runtime.checkpoint_save_failures()),
+              static_cast<unsigned long long>(runtime.checkpoint_store().size()),
+              static_cast<unsigned long long>(
+                  runtime.checkpoint_store().newest() ? runtime.checkpoint_store().newest()->sequence
+                                                      : 0));
+
   std::printf("\nrecovery ladder: %llu supervised restarts, %llu checkpoint rejects, "
               "%llu escalations\n%s\n",
               static_cast<unsigned long long>(runtime.module_restarts()),
               static_cast<unsigned long long>(runtime.checkpoint_rejects()),
               static_cast<unsigned long long>(runtime.supervisor()->escalations()),
               runtime.supervisor()->TimelineString().c_str());
+
+  if (!runtime.RestoreTimelineString().empty()) {
+    std::printf("\nlast restore walk (depth %llu, %.1fus of work lost):\n%s\n",
+                static_cast<unsigned long long>(runtime.last_restore_depth()),
+                ToMicroseconds(runtime.last_restore_age_ns()),
+                runtime.RestoreTimelineString().c_str());
+  }
 
   if (runtime.quarantined()) {
     std::printf("\nrestart budget exhausted; module quarantined. CrashReport:\n%s\n",

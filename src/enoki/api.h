@@ -28,6 +28,7 @@
 #include "src/base/ring_buffer.h"
 #include "src/base/time.h"
 #include "src/enoki/checkpoint.h"
+#include "src/fault/watchdog.h"
 
 namespace enoki {
 
@@ -265,6 +266,41 @@ class EnokiSched {
   // when the version is unsupported or the payload is malformed; the module
   // must be left usable (fresh) either way.
   virtual bool LoadCheckpoint(uint32_t version, ByteReader* in) { return false; }
+
+  // The probation budgets a freshly upgraded instance of this policy should
+  // prove itself under when the caller does not override them
+  // (UpgradeOptions.probation wins when set). Policies whose healthy shape
+  // would false-positive the generic defaults — a central dispatcher funnels
+  // every pick through one CPU, a work-stealing balancer loses benign races —
+  // loosen exactly the budget their mechanism stresses and keep the rest.
+  virtual ProbationConfig DefaultProbation() const { return ProbationConfig{}; }
+
+  // Stable identity of this module build for flap damping and checkpoint
+  // provenance: the runtime refuses upgrades to a fingerprint that keeps
+  // failing probation, and the restore walk skips ring generations saved by
+  // a different fingerprint. Folds the concrete type, the policy id, and the
+  // checkpoint format version; deterministic within one binary (which is the
+  // scope every determinism comparison runs in). Never returns 0 — 0 is the
+  // "unknown saver" wildcard in Checkpoint.
+  virtual uint64_t VersionFingerprint() const {
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](uint8_t byte) {
+      h ^= byte;
+      h *= 1099511628211ull;
+    };
+    for (const char* p = typeid(*this).name(); *p != '\0'; ++p) {
+      mix(static_cast<uint8_t>(*p));
+    }
+    const uint64_t policy = static_cast<uint64_t>(static_cast<int64_t>(GetPolicy()));
+    const uint64_t version = CheckpointVersion();
+    for (int i = 0; i < 8; ++i) {
+      mix(static_cast<uint8_t>(policy >> (8 * i)));
+    }
+    for (int i = 0; i < 4; ++i) {
+      mix(static_cast<uint8_t>(version >> (8 * i)));
+    }
+    return h == 0 ? 1 : h;
+  }
 
   // Hint queues (section 3.3). The runtime owns the ring buffers and drains
   // user hints into ParseHint synchronously before scheduling decisions

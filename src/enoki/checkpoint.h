@@ -12,16 +12,25 @@
 // The byte format is explicit little-endian u64/u32 fields written through
 // ByteWriter and read back through ByteReader, whose reads are bounds-checked
 // so a truncated or hostile payload fails cleanly instead of invoking UB.
-// Seal() computes an FNV-1a checksum over the payload (folded with the
-// format version); Valid() recomputes it. The runtime refuses to hand a
-// checkpoint that fails Valid() to LoadCheckpoint at all — corruption is
-// detected, not deserialized.
+// Seal() computes an FNV-1a checksum over the payload folded with every
+// metadata field (format version, sequence, capture time, saver
+// fingerprint); Valid() recomputes it. Folding the metadata means a stale
+// generation replayed into a different ring slot — same payload, forged
+// sequence — fails Valid() instead of being silently accepted. The runtime
+// refuses to hand a checkpoint that fails Valid() to LoadCheckpoint at all —
+// corruption is detected, not deserialized.
+//
+// CheckpointStore keeps a small ring of the K newest sealed generations.
+// Restore walks it newest→oldest, dropping generations that fail Valid() or
+// that the module refuses to load, so one rotted slot costs a bounded window
+// of accounting instead of the whole restore.
 
 #ifndef SRC_ENOKI_CHECKPOINT_H_
 #define SRC_ENOKI_CHECKPOINT_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <utility>
 #include <vector>
 
@@ -96,31 +105,108 @@ struct Checkpoint {
   uint32_t state_version = 0;  // the module's CheckpointVersion() at save
   uint64_t sequence = 0;       // runtime-assigned, monotonically increasing
   Time taken_at = 0;           // simulated time of the snapshot
+  // VersionFingerprint() of the saving module. Restore skips generations
+  // whose fingerprint does not match the module being restored, so a
+  // cross-policy ring (older generations from a replaced predecessor) can
+  // never feed one policy's payload into another policy's loader. 0 means
+  // "unknown" (pre-fingerprint fixtures) and matches anything.
+  uint64_t module_fingerprint = 0;
   std::vector<uint8_t> bytes;  // payload written by SaveCheckpoint
-  uint64_t checksum = 0;       // FNV-1a over (version, length, payload)
+  uint64_t checksum = 0;       // FNV-1a over all metadata + length + payload
 
-  static uint64_t Fnv1a(const std::vector<uint8_t>& bytes, uint32_t version) {
+  // The seal covers sequence, taken_at, and module_fingerprint in addition
+  // to the version and payload: replaying a stale generation under forged
+  // metadata (a different ring slot, a rewritten capture time) breaks the
+  // checksum just like flipping a payload byte does.
+  uint64_t Fnv1a() const {
     uint64_t h = 14695981039346656037ull;
     auto mix = [&h](uint8_t byte) {
       h ^= byte;
       h *= 1099511628211ull;
     };
+    auto mix64 = [&mix](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        mix(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    };
     for (int i = 0; i < 4; ++i) {
-      mix(static_cast<uint8_t>(version >> (8 * i)));
+      mix(static_cast<uint8_t>(state_version >> (8 * i)));
     }
-    const uint64_t len = bytes.size();
-    for (int i = 0; i < 8; ++i) {
-      mix(static_cast<uint8_t>(len >> (8 * i)));
-    }
+    mix64(sequence);
+    mix64(static_cast<uint64_t>(taken_at));
+    mix64(module_fingerprint);
+    mix64(bytes.size());
     for (uint8_t byte : bytes) {
       mix(byte);
     }
     return h;
   }
 
-  void Seal() { checksum = Fnv1a(bytes, state_version); }
-  bool Valid() const { return checksum == Fnv1a(bytes, state_version); }
+  void Seal() { checksum = Fnv1a(); }
+  bool Valid() const { return checksum == Fnv1a(); }
   size_t size_bytes() const { return bytes.size(); }
+};
+
+// A bounded ring of sealed checkpoint generations, newest first. Push
+// evicts the oldest generation once `capacity` is reached; the restore walk
+// reads (and drops) from the newest end. K is small — eviction is a deque
+// pop, and the store is only touched at checkpoint/restore boundaries, never
+// on the scheduling hot path.
+class CheckpointStore {
+ public:
+  static constexpr size_t kDefaultCapacity = 4;
+
+  explicit CheckpointStore(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return capacity_; }
+
+  // Resizing below the current population evicts the oldest generations.
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    while (ring_.size() > capacity_) {
+      ring_.pop_front();
+      ++evicted_;
+    }
+  }
+
+  bool empty() const { return ring_.empty(); }
+  size_t size() const { return ring_.size(); }
+  uint64_t pushed() const { return pushed_; }
+  uint64_t evicted() const { return evicted_; }
+
+  // Appends a new newest generation, evicting the oldest at capacity.
+  void Push(Checkpoint ck) {
+    if (ring_.size() == capacity_) {
+      ring_.pop_front();
+      ++evicted_;
+    }
+    ring_.push_back(std::move(ck));
+    ++pushed_;
+  }
+
+  // i = 0 is the newest generation, i = size()-1 the oldest.
+  const Checkpoint& FromNewest(size_t i) const { return ring_[ring_.size() - 1 - i]; }
+  // Mutable access for fault injection (ring-slot bit-rot) and fixtures.
+  Checkpoint* MutableFromNewest(size_t i) { return &ring_[ring_.size() - 1 - i]; }
+
+  const Checkpoint* newest() const { return ring_.empty() ? nullptr : &ring_.back(); }
+
+  // The restore walk discards a generation it rejected (bad checksum, load
+  // refusal) so it is never offered twice.
+  void DropNewest() {
+    if (!ring_.empty()) {
+      ring_.pop_back();
+    }
+  }
+
+  void Clear() { ring_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::deque<Checkpoint> ring_;
+  uint64_t pushed_ = 0;
+  uint64_t evicted_ = 0;
 };
 
 }  // namespace enoki

@@ -57,6 +57,10 @@ const char* RecordTypeName(RecordType type) {
       return "module_restart";
     case RecordType::kShardMerge:
       return "shard_merge";
+    case RecordType::kCheckpointSave:
+      return "checkpoint_save";
+    case RecordType::kCheckpointRestore:
+      return "checkpoint_restore";
   }
   return "unknown";
 }

@@ -56,6 +56,12 @@ enum class RecordType : uint8_t {
   // ENOKI_SHARD_THREADS — and replay ignores it like the other runtime
   // lifecycle markers.
   kShardMerge,
+  // Checkpoint lifecycle (recovery ladder): a generation pushed onto the
+  // ring (arg = sequence, taken_at, payload bytes) and a restore walk
+  // completing (arg = sequence loaded, ring depth consumed, generations
+  // skipped). Replay ignores both like the other lifecycle markers.
+  kCheckpointSave,
+  kCheckpointRestore,
 };
 
 const char* RecordTypeName(RecordType type);

@@ -235,6 +235,8 @@ void ReplayEngine::PerformCall(EnokiSched* module, const RecordEntry& e, ReplayR
     case RecordType::kUpgradeRollback:
     case RecordType::kModuleRestart:
     case RecordType::kShardMerge:
+    case RecordType::kCheckpointSave:
+    case RecordType::kCheckpointRestore:
       break;  // lifecycle/engine markers; replay runs a single module instance
   }
   if (check) {

@@ -182,6 +182,9 @@ void EnokiRuntime::TripWatchdog(TripReason reason, std::string detail) {
   if (in_probation_ && upgrade_txn_ && prev_module_ != nullptr) {
     rollback_pending_ = true;
     ++recovery_epoch_;  // cancel the probation timer
+    // Flap damping: the incoming fingerprint failed its probation. Enough of
+    // these inside the rolling window and Upgrade() refuses the fingerprint.
+    RecordFlapFailure(incoming_fingerprint_, core_->now());
     ENOKI_WARN("enoki: watchdog tripped (%s) during upgrade probation: %s; rolling back",
                TripReasonName(crash_report_->reason), crash_report_->detail.c_str());
     // The trip can fire deep inside a scheduling operation (mid-pick,
@@ -284,28 +287,76 @@ void EnokiRuntime::EnableSupervisor(const SupervisorConfig& config, ModuleFactor
   ENOKI_CHECK(watchdog_ != nullptr);  // the supervisor sits above the watchdog
   ENOKI_CHECK(factory != nullptr);
   supervisor_ = std::make_unique<ModuleSupervisor>(config, std::move(factory));
-  // Seed the last-good checkpoint so even the first restart has a restore
-  // point (modules without checkpoint support restart fresh).
+  // Seed the first generation so even the first restart has a restore point
+  // (modules without checkpoint support restart fresh).
   CheckpointNow();
 }
 
 bool EnokiRuntime::CheckpointNow() {
+  if (ModuleOffline()) {
+    return false;
+  }
   Checkpoint ck;
   if (!TakeCheckpoint(module_.get(), &ck)) {
+    if (last_save_threw_) {
+      // A crash inside SaveCheckpoint is a module crash like any other: the
+      // ring keeps its prior generations untouched and the watchdog decides
+      // whether the module has spent its escape budget.
+      ++checkpoint_save_failures_;
+      ++escaped_exceptions_;
+      ENOKI_WARN("enoki: module crashed during CheckpointNow (save failure #%" PRIu64 ")",
+                 checkpoint_save_failures_);
+      if (watchdog_ != nullptr && !recovering_ &&
+          watchdog_->OnEscapedException() != TripReason::kNone) {
+        TripWatchdog(TripReason::kEscapedException, "save_checkpoint: crash during CheckpointNow");
+      }
+    }
     return false;
   }
   core_->ChargeCpu(0, core_->costs().checkpoint_save_ns);
-  last_good_ = std::move(ck);
+  RecordEntry e;
+  e.type = RecordType::kCheckpointSave;
+  e.arg[0] = ck.sequence;
+  e.arg[1] = static_cast<uint64_t>(ck.taken_at);
+  e.arg[2] = ck.bytes.size();
+  Record(e);
+  checkpoints_.Push(std::move(ck));
   return true;
+}
+
+void EnokiRuntime::SetCheckpointInterval(Duration interval) {
+  checkpoint_interval_ = interval;
+  const uint64_t epoch = ++cadence_epoch_;  // cancels any previously armed timer
+  if (interval > 0 && core_ != nullptr && !quarantined_) {
+    ArmCheckpointCadence(epoch);
+  }
+}
+
+void EnokiRuntime::ArmCheckpointCadence(uint64_t epoch) {
+  core_->loop().ScheduleAfter(checkpoint_interval_, [this, epoch] {
+    if (epoch != cadence_epoch_ || checkpoint_interval_ == 0 || quarantined_) {
+      return;  // disarmed, re-armed at a different interval, or terminal
+    }
+    // Probation skips the save (an unproven module must not overwrite proven
+    // generations) but keeps the cadence alive; so does a pending recovery.
+    if (!ModuleOffline() && !in_probation_ && CheckpointNow()) {
+      ++periodic_checkpoints_;
+    }
+    if (!quarantined_) {
+      ArmCheckpointCadence(epoch);
+    }
+  });
 }
 
 bool EnokiRuntime::TakeCheckpoint(EnokiSched* module, Checkpoint* out) {
   ByteWriter w;
   bool ok = false;
+  last_save_threw_ = false;
   try {
     ok = module->SaveCheckpoint(&w);
   } catch (...) {
-    ok = false;  // a throwing saver is treated as "no checkpoint support"
+    ok = false;  // a throwing saver yields no checkpoint; CheckpointNow escalates
+    last_save_threw_ = true;
   }
   if (!ok) {
     return false;
@@ -313,6 +364,7 @@ bool EnokiRuntime::TakeCheckpoint(EnokiSched* module, Checkpoint* out) {
   out->state_version = module->CheckpointVersion();
   out->sequence = ++checkpoint_seq_;
   out->taken_at = core_->now();
+  out->module_fingerprint = ModuleFingerprint(module);
   out->bytes = w.Take();
   out->Seal();
   if (saboteur_ != nullptr) {
@@ -323,30 +375,122 @@ bool EnokiRuntime::TakeCheckpoint(EnokiSched* module, Checkpoint* out) {
   return true;
 }
 
-bool EnokiRuntime::RestoreFromCheckpoint(EnokiSched* module) {
-  if (!last_good_.has_value()) {
-    return false;
-  }
-  if (!last_good_->Valid()) {
-    ++checkpoint_rejects_;
-    ENOKI_WARN("enoki: checkpoint #%" PRIu64
-               " failed checksum validation; refusing to deserialize, starting fresh",
-               last_good_->sequence);
-    last_good_.reset();  // never offer a corrupt checkpoint twice
-    return false;
-  }
-  ByteReader r(last_good_->bytes);
-  bool ok = false;
+uint64_t EnokiRuntime::ModuleFingerprint(const EnokiSched* module) {
   try {
-    ok = module->LoadCheckpoint(last_good_->state_version, &r);
+    return module->VersionFingerprint();
   } catch (...) {
-    ok = false;
+    return 0;  // unknown saver: matches any generation
   }
-  if (!ok) {
-    ENOKI_WARN("enoki: module rejected checkpoint #%" PRIu64 " (version %u); starting fresh",
-               last_good_->sequence, last_good_->state_version);
+}
+
+void EnokiRuntime::AppendRestoreLog(const char* verdict, const Checkpoint& ck,
+                                    const char* reason) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "t=%" PRIu64 " %s seq=%" PRIu64 " v=%u taken=%" PRIu64 " %s",
+                static_cast<uint64_t>(core_->now()), verdict, ck.sequence, ck.state_version,
+                static_cast<uint64_t>(ck.taken_at), reason);
+  restore_log_.emplace_back(buf);
+}
+
+std::string EnokiRuntime::RestoreTimelineString() const {
+  std::string out;
+  for (const std::string& line : restore_log_) {
+    out += line;
+    out += '\n';
   }
-  return ok;
+  return out;
+}
+
+bool EnokiRuntime::RestoreFromCheckpoint(EnokiSched* module) {
+  last_restore_depth_ = 0;
+  last_restore_age_ns_ = 0;
+  if (saboteur_ != nullptr) {
+    // Ring-slot bit-rot is discovered at read time: an arbitrary stored
+    // generation (not just the newest) may have rotted since its save.
+    saboteur_->MaybeCorruptSlot(&checkpoints_);
+  }
+  const uint64_t want_fp = ModuleFingerprint(module);
+  while (!checkpoints_.empty()) {
+    ++last_restore_depth_;
+    const Checkpoint& ck = checkpoints_.FromNewest(0);
+    if (!ck.Valid()) {
+      ++checkpoint_rejects_;
+      ++restore_fallbacks_;
+      ENOKI_WARN("enoki: checkpoint #%" PRIu64
+                 " failed checksum validation; refusing to deserialize, falling back",
+                 ck.sequence);
+      AppendRestoreLog("skip", ck, "reason=checksum");
+      checkpoints_.DropNewest();  // never offer a corrupt generation twice
+      continue;
+    }
+    if (ck.module_fingerprint != 0 && want_fp != 0 && ck.module_fingerprint != want_fp) {
+      // Saved by a different module build (e.g. a replaced predecessor
+      // policy): format-compatible by accident at worst, wrong by design.
+      ++restore_fallbacks_;
+      AppendRestoreLog("skip", ck, "reason=fingerprint");
+      checkpoints_.DropNewest();
+      continue;
+    }
+    ByteReader r(ck.bytes);
+    bool ok = false;
+    try {
+      ok = module->LoadCheckpoint(ck.state_version, &r);
+    } catch (...) {
+      ok = false;
+    }
+    if (!ok) {
+      ++restore_fallbacks_;
+      ENOKI_WARN("enoki: module rejected checkpoint #%" PRIu64 " (version %u); falling back",
+                 ck.sequence, ck.state_version);
+      AppendRestoreLog("skip", ck, "reason=load-refused");
+      checkpoints_.DropNewest();
+      continue;
+    }
+    last_restore_age_ns_ =
+        core_->now() >= ck.taken_at ? core_->now() - ck.taken_at : Duration{0};
+    AppendRestoreLog("restore", ck, "");
+    RecordEntry e;
+    e.type = RecordType::kCheckpointRestore;
+    e.arg[0] = ck.sequence;
+    e.arg[1] = last_restore_depth_;
+    e.arg[2] = last_restore_depth_ - 1;  // generations skipped on the way
+    Record(e);
+    return true;
+  }
+  ENOKI_WARN("enoki: checkpoint ring exhausted after %" PRIu64 " generations; starting fresh",
+             last_restore_depth_);
+  Checkpoint none;
+  AppendRestoreLog("fresh", none, "reason=ring-exhausted");
+  return false;
+}
+
+// ---- Version-fingerprint flap damping ----
+
+void EnokiRuntime::PruneFlapWindow(Time now) {
+  const Duration window = flap_config_.window_ns;
+  auto expired = [&](const std::pair<uint64_t, Time>& f) {
+    return now >= f.second && now - f.second > window;
+  };
+  flap_failures_.erase(std::remove_if(flap_failures_.begin(), flap_failures_.end(), expired),
+                       flap_failures_.end());
+}
+
+uint64_t EnokiRuntime::FlapFailureCount(uint64_t fingerprint) const {
+  uint64_t n = 0;
+  for (const auto& f : flap_failures_) {
+    if (f.first == fingerprint) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void EnokiRuntime::RecordFlapFailure(uint64_t fingerprint, Time now) {
+  if (fingerprint == 0) {
+    return;
+  }
+  PruneFlapWindow(now);
+  flap_failures_.emplace_back(fingerprint, now);
 }
 
 uint64_t EnokiRuntime::ReinjectQueuedTasks() {
@@ -394,14 +538,16 @@ void EnokiRuntime::CommitProbation() {
   ENOKI_CHECK(in_probation_);
   in_probation_ = false;
   upgrade_txn_ = false;
+  incoming_fingerprint_ = 0;
   watchdog_->EndProbation();
   ++recovery_epoch_;  // cancel the probation window timer
   prev_module_.reset();  // the predecessor stops being a rollback target
-  // The module proved itself: its current state becomes the new last-good.
+  // The module proved itself: its current state becomes the newest
+  // generation on the ring.
   Checkpoint ck;
   if (TakeCheckpoint(module_.get(), &ck)) {
     core_->ChargeCpu(0, core_->costs().checkpoint_save_ns);
-    last_good_ = std::move(ck);
+    checkpoints_.Push(std::move(ck));
   }
   if (supervisor_ != nullptr) {
     supervisor_->OnHealthy(core_->now());
@@ -422,6 +568,7 @@ void EnokiRuntime::PerformRollback() {
   }
   in_probation_ = false;
   upgrade_txn_ = false;
+  incoming_fingerprint_ = 0;
   watchdog_->EndProbation();
   module_ = std::move(prev_module_);  // the condemned module dies here
   // Re-attach: ReregisterPrepare moved the predecessor's per-CPU structures
@@ -975,6 +1122,23 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next, const Upgr
     report.error = "previous upgrade still in probation; upgrade refused";
     return report;
   }
+  // Flap damping: a fingerprint that keeps failing probation is refused
+  // outright until the rolling window drains — no quiesce, no pause, no
+  // chance to churn the module slot a fourth time.
+  const uint64_t incoming_fp = ModuleFingerprint(next.get());
+  report.incoming_fingerprint = incoming_fp;
+  PruneFlapWindow(core_->now());
+  if (incoming_fp != 0 && FlapFailureCount(incoming_fp) >= flap_config_.max_failures) {
+    ++fingerprint_refusals_;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "incoming fingerprint flapping (%" PRIu64 " probation failures in window);"
+                  " upgrade refused",
+                  FlapFailureCount(incoming_fp));
+    report.error = buf;
+    report.refused_flapping = true;
+    return report;
+  }
   const SimCosts& costs = core_->costs();
   // Quiesce: acquire the per-scheduler read-write lock in write mode. The
   // pause is the reader drain (one in-flight call per CPU in the worst
@@ -1023,7 +1187,11 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next, const Upgr
       // Re-attach: prepare moved the per-CPU structures out; a failed
       // restore must still leave sized state behind.
       module_->Attach(this);
-      last_good_ = std::move(ck);
+      checkpoints_.Push(std::move(ck));
+      // An init rejection counts against the incoming fingerprint just like
+      // a probation trip would: it is the same "this build cannot take the
+      // slot" signal, one rung earlier.
+      RecordFlapFailure(incoming_fp, core_->now());
       recovering_ = true;
       const bool restored = RestoreFromCheckpoint(module_.get());
       const uint64_t reinjected = ReinjectQueuedTasks();
@@ -1083,11 +1251,24 @@ UpgradeReport EnokiRuntime::Upgrade(std::unique_ptr<EnokiSched> next, const Upgr
   if (checkpointed && watchdog_ != nullptr && opts.enable_probation && !fallback_done_) {
     // Probation: the outgoing module stays parked as the rollback target
     // until the incoming one survives a window under tightened budgets.
+    // Absent a caller override, the budgets are the incoming policy's own
+    // DefaultProbation() — a central dispatcher and a work-stealing balancer
+    // do not false-positive on the same thresholds.
     prev_module_ = std::move(outgoing);
-    last_good_ = std::move(ck);
-    BeginProbation(opts.probation.value_or(ProbationConfig{}), /*upgrade_txn=*/true);
+    checkpoints_.Push(std::move(ck));
+    incoming_fingerprint_ = incoming_fp;
+    ProbationConfig probation;
+    try {
+      probation = opts.probation.value_or(incoming->DefaultProbation());
+    } catch (...) {
+      probation = ProbationConfig{};
+    }
+    BeginProbation(probation, /*upgrade_txn=*/true);
   } else if (checkpointed) {
-    last_good_ = std::move(ck);
+    checkpoints_.Push(std::move(ck));
+  }
+  if (opts.checkpoint_interval_ns > 0) {
+    SetCheckpointInterval(opts.checkpoint_interval_ns);
   }
   if (!*consumed) {
     // The incoming module did not take the transfer (different policy, or the

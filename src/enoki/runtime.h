@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/time.h"
@@ -39,6 +40,11 @@ struct UpgradeReport {
   std::string error;
   bool checkpointed = false;  // outgoing state captured before the swap
   bool rolled_back = false;   // post-swap init failure undone from the checkpoint
+  // Flap damping: the incoming module's fingerprint has failed probation too
+  // many times inside the rolling window and the upgrade was refused before
+  // any quiesce attempt (no pause charged, no state disturbed).
+  bool refused_flapping = false;
+  uint64_t incoming_fingerprint = 0;  // VersionFingerprint() of `next`
 };
 
 // Options for a transactional upgrade. Probation requires an armed watchdog
@@ -46,7 +52,21 @@ struct UpgradeReport {
 // commits immediately, as before.
 struct UpgradeOptions {
   bool enable_probation = true;
-  std::optional<ProbationConfig> probation;  // nullopt = ProbationConfig{} defaults
+  // nullopt = the incoming module's own DefaultProbation() budgets.
+  std::optional<ProbationConfig> probation;
+  // When > 0 and the upgrade commits, (re)arms the runtime's periodic
+  // CheckpointNow() cadence at this interval — the knob a deployment tool
+  // would set alongside the upgrade itself. 0 leaves the current cadence
+  // untouched.
+  Duration checkpoint_interval_ns = 0;
+};
+
+// Version-fingerprint flap damping: after `max_failures` probation failures
+// of the same incoming fingerprint within the rolling window, further
+// upgrades to that fingerprint are refused until the window drains.
+struct FlapDampingConfig {
+  uint64_t max_failures = 3;
+  Duration window_ns = Milliseconds(50);
 };
 
 class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
@@ -124,10 +144,27 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   // checksum validation must catch.
   void SetCheckpointSaboteur(CheckpointSaboteur* saboteur) { saboteur_ = saboteur; }
 
-  // Takes a fresh last-good checkpoint of the current module outside any
-  // upgrade (a periodic-checkpoint policy would call this). Returns false
-  // when the module does not support checkpointing.
+  // Takes a fresh checkpoint generation of the current module outside any
+  // upgrade and pushes it onto the ring. Returns false when the module does
+  // not support checkpointing, is offline, or its saver crashed (a crash is
+  // reported to the watchdog like any other escaped exception — the ring
+  // keeps its prior generations either way).
   bool CheckpointNow();
+
+  // Arms (interval > 0) or disarms (0) a periodic CheckpointNow() cadence
+  // driven through the event loop, so supervised restarts lose a bounded
+  // window of accounting even when no upgrade ever happens. Saves are
+  // skipped — but the cadence stays armed — while the module is offline or
+  // on probation (an unproven module must not overwrite proven generations);
+  // a terminal quarantine stops the cadence for good.
+  void SetCheckpointInterval(Duration interval);
+  Duration checkpoint_interval() const { return checkpoint_interval_; }
+
+  // Resizes the generation ring (K, default CheckpointStore::kDefaultCapacity).
+  void SetCheckpointCapacity(size_t k) { checkpoints_.set_capacity(k); }
+
+  // Configures version-fingerprint flap damping for Upgrade().
+  void SetFlapDamping(const FlapDampingConfig& cfg) { flap_config_ = cfg; }
 
   bool quarantined() const { return quarantined_; }
   bool fallback_done() const { return fallback_done_; }
@@ -136,7 +173,19 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   ModuleSupervisor* supervisor() const { return supervisor_.get(); }
   bool in_probation() const { return in_probation_; }
   bool recovery_pending() const { return rollback_pending_ || restart_pending_; }
-  const std::optional<Checkpoint>& last_good_checkpoint() const { return last_good_; }
+  // The newest sealed generation (by value: the ring owns the storage).
+  std::optional<Checkpoint> last_good_checkpoint() const {
+    const Checkpoint* newest = checkpoints_.newest();
+    return newest == nullptr ? std::nullopt : std::optional<Checkpoint>(*newest);
+  }
+  const CheckpointStore& checkpoint_store() const { return checkpoints_; }
+  // Mutable ring access for fault sweeps and fixtures (ring-slot bit-rot).
+  CheckpointStore* mutable_checkpoint_store() { return &checkpoints_; }
+
+  // Deterministic restore timeline: one line per walk step ("skip"/"restore"
+  // with simulated time, sequence, reason). Identical seeds must produce
+  // byte-identical strings — the sweep tests' fallback-order fingerprint.
+  std::string RestoreTimelineString() const;
 
   // ---- Record mode (section 3.4) ----
   void SetRecorder(Recorder* recorder) { recorder_ = recorder; }
@@ -152,6 +201,16 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   uint64_t rollbacks() const { return rollbacks_; }
   uint64_t module_restarts() const { return module_restarts_; }
   uint64_t checkpoint_rejects() const { return checkpoint_rejects_; }
+  uint64_t restore_fallbacks() const { return restore_fallbacks_; }
+  uint64_t periodic_checkpoints() const { return periodic_checkpoints_; }
+  uint64_t checkpoint_save_failures() const { return checkpoint_save_failures_; }
+  uint64_t fingerprint_refusals() const { return fingerprint_refusals_; }
+  // Ring depth consumed by the most recent restore walk (1 = newest
+  // generation loaded cleanly; larger = generations were skipped) and the
+  // simulated work window lost with it (now - taken_at of the generation
+  // actually loaded). Both 0 until a restore runs.
+  uint64_t last_restore_depth() const { return last_restore_depth_; }
+  Duration last_restore_age_ns() const { return last_restore_age_ns_; }
   const FlightRecorder& flight_recorder() const { return flight_; }
   size_t QueuedCount(int cpu) const { return queued_[cpu].size(); }
 
@@ -191,12 +250,27 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   // tasks in the runtime's bookkeeping until the module is back.
   bool ModuleOffline() const { return quarantined_ || rollback_pending_ || restart_pending_; }
   // Snapshots `module` into `out` (sealed, saboteur applied). False when
-  // the module does not support checkpointing.
+  // the module does not support checkpointing or its saver threw (the
+  // latter also sets last_save_threw_ for the caller to escalate).
   bool TakeCheckpoint(EnokiSched* module, Checkpoint* out);
-  // Restores `module` from last_good_. Returns true if state was loaded;
-  // false means the module starts fresh (no checkpoint, checksum mismatch —
-  // counted in checkpoint_rejects_ — or a load rejection).
+  // Walks the generation ring newest→oldest, dropping generations that fail
+  // Valid() (counted in checkpoint_rejects_), were saved by a different
+  // module fingerprint, or that LoadCheckpoint refuses — every skip is
+  // counted in restore_fallbacks_ and appended to the restore timeline.
+  // Returns true once a generation loads; false means the ring is exhausted
+  // and the module starts fresh.
   bool RestoreFromCheckpoint(EnokiSched* module);
+  // The module's VersionFingerprint(), with a throwing override treated as
+  // "unknown" (0).
+  static uint64_t ModuleFingerprint(const EnokiSched* module);
+  // Flap damping bookkeeping: drops window-expired failures, then counts /
+  // records probation failures of `fingerprint`.
+  void PruneFlapWindow(Time now);
+  uint64_t FlapFailureCount(uint64_t fingerprint) const;
+  void RecordFlapFailure(uint64_t fingerprint, Time now);
+  void AppendRestoreLog(const char* verdict, const Checkpoint& ck, const char* reason);
+  // Self-rescheduling periodic-checkpoint timer (SetCheckpointInterval).
+  void ArmCheckpointCadence(uint64_t epoch);
   // Re-injects every queued task into the (restored) module as a wakeup
   // with a freshly minted token; returns how many were injected.
   uint64_t ReinjectQueuedTasks();
@@ -283,10 +357,28 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   FlightRecorder flight_;
 
   // The predecessor held alive while an upgrade is on probation (the open
-  // transaction), and the checkpoint recovery restores from.
+  // transaction), and the generation ring checkpoint recovery restores from.
   std::unique_ptr<EnokiSched> prev_module_;
-  std::optional<Checkpoint> last_good_;
+  CheckpointStore checkpoints_;
   uint64_t checkpoint_seq_ = 0;
+  // Set by TakeCheckpoint when the saver threw (vs. merely lacking
+  // checkpoint support): CheckpointNow escalates a crash to the watchdog.
+  bool last_save_threw_ = false;
+
+  // Periodic-checkpoint cadence (0 = off). The epoch cancels a disarmed or
+  // re-armed timer without touching the event loop.
+  Duration checkpoint_interval_ = 0;
+  uint64_t cadence_epoch_ = 0;
+
+  // Version-fingerprint flap damping: (fingerprint, failure time) pairs
+  // within the rolling window, appended in simulated-time order.
+  FlapDampingConfig flap_config_;
+  std::vector<std::pair<uint64_t, Time>> flap_failures_;
+  // Fingerprint of the module whose upgrade probation is currently open.
+  uint64_t incoming_fingerprint_ = 0;
+
+  // Deterministic restore timeline (see RestoreTimelineString).
+  std::vector<std::string> restore_log_;
 
   bool in_probation_ = false;
   bool upgrade_txn_ = false;      // current probation guards an upgrade (rollback target exists)
@@ -305,6 +397,12 @@ class EnokiRuntime : public SchedClass, public EnokiKernelEnv {
   uint64_t rollbacks_ = 0;
   uint64_t module_restarts_ = 0;
   uint64_t checkpoint_rejects_ = 0;
+  uint64_t restore_fallbacks_ = 0;
+  uint64_t periodic_checkpoints_ = 0;
+  uint64_t checkpoint_save_failures_ = 0;
+  uint64_t fingerprint_refusals_ = 0;
+  uint64_t last_restore_depth_ = 0;
+  Duration last_restore_age_ns_ = 0;
 };
 
 class ShardedEventLoop;

@@ -5,7 +5,10 @@
 namespace enoki {
 
 FaultInjector::FaultInjector(std::unique_ptr<EnokiSched> inner, FaultPlan plan)
-    : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {
+    : inner_(std::move(inner)),
+      plan_(plan),
+      rng_(plan.seed),
+      save_rng_(plan.seed ^ 0x2545f4914f6cdd1dull) {
   ENOKI_CHECK(inner_ != nullptr);
 }
 

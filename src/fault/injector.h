@@ -69,6 +69,11 @@ struct FaultPlan {
   // hot callbacks — misbehavior crafted to land inside a probation window.
   double probation_misbehave_rate = 0.0;
   int probation_misbehave_count = 3;
+  // Crash inside SaveCheckpoint (crash-during-CheckpointNow): the save
+  // yields no generation, the ring keeps its prior ones, and the runtime
+  // escalates the crash to the watchdog. Drawn from a dedicated Rng stream
+  // so arming it does not perturb the in-band fault sequence.
+  double checkpoint_crash_rate = 0.0;
 
   // The full fault menu at modest rates: every fault kind is exercised, no
   // single kind dominates. Used by the seeded sweep test and the demo.
@@ -86,13 +91,19 @@ struct FaultPlan {
   }
 
   // Faults concentrated at the upgrade boundary, for modules installed via
-  // Upgrade() in the recovery-ladder sweeps.
-  static FaultPlan UpgradeMenu(uint64_t seed) {
+  // Upgrade() in the recovery-ladder sweeps. `checkpoint_faults` adds the
+  // ring's own failure modes — crash-during-CheckpointNow here and ring-slot
+  // bit-rot via CheckpointSaboteur's slot_rot_rate — for sweeps that drive a
+  // periodic cadence; the default keeps the original menu byte-identical.
+  static FaultPlan UpgradeMenu(uint64_t seed, bool checkpoint_faults = false) {
     FaultPlan plan;
     plan.seed = seed;
     plan.prepare_throw_rate = 0.2;
     plan.init_throw_rate = 0.3;
     plan.probation_misbehave_rate = 0.4;
+    if (checkpoint_faults) {
+      plan.checkpoint_crash_rate = 0.15;
+    }
     return plan;
   }
 };
@@ -100,12 +111,18 @@ struct FaultPlan {
 // Simulated checkpoint-storage corruption: with probability `corrupt_rate`,
 // flips one byte of an already *sealed* Checkpoint (bit-rot between save and
 // restore), so the runtime's checksum validation must catch it before any
-// deserialization happens. Seeded independently of the in-band fault stream
-// so arming it does not perturb an injector's fault sequence.
+// deserialization happens. `slot_rot_rate` additionally rots an *arbitrary*
+// generation already sitting in the ring — checked by the runtime at the
+// start of each restore walk, modeling rot discovered at read time rather
+// than write time. Both streams are seeded independently of the in-band
+// fault stream so arming them does not perturb an injector's fault sequence.
 class CheckpointSaboteur {
  public:
-  CheckpointSaboteur(uint64_t seed, double corrupt_rate)
-      : rng_(seed ^ 0x9e3779b97f4a7c15ull), rate_(corrupt_rate) {}
+  CheckpointSaboteur(uint64_t seed, double corrupt_rate, double slot_rot_rate = 0.0)
+      : rng_(seed ^ 0x9e3779b97f4a7c15ull),
+        slot_rng_(seed ^ 0xda942042e4dd58b5ull),
+        rate_(corrupt_rate),
+        slot_rate_(slot_rot_rate) {}
 
   // Returns true if the checkpoint was corrupted.
   bool MaybeCorrupt(Checkpoint* ck) {
@@ -118,12 +135,35 @@ class CheckpointSaboteur {
     return true;
   }
 
+  // Ring-slot bit-rot: picks one stored generation uniformly (any slot, not
+  // just the newest) and flips a payload byte — or the checksum itself when
+  // the payload is empty. Returns true if a slot was corrupted.
+  bool MaybeCorruptSlot(CheckpointStore* store) {
+    if (store->empty() || slot_rate_ <= 0.0 || !slot_rng_.NextBernoulli(slot_rate_)) {
+      return false;
+    }
+    Checkpoint* ck = store->MutableFromNewest(static_cast<size_t>(
+        slot_rng_.NextBelow(static_cast<uint64_t>(store->size()))));
+    if (ck->bytes.empty()) {
+      ck->checksum ^= 0xFF;
+    } else {
+      const size_t idx = static_cast<size_t>(slot_rng_.NextBelow(ck->bytes.size()));
+      ck->bytes[idx] ^= 0xFF;
+    }
+    ++slot_corruptions_;
+    return true;
+  }
+
   uint64_t corruptions() const { return corruptions_; }
+  uint64_t slot_corruptions() const { return slot_corruptions_; }
 
  private:
   Rng rng_;
+  Rng slot_rng_;
   const double rate_;
+  const double slot_rate_;
   uint64_t corruptions_ = 0;
+  uint64_t slot_corruptions_ = 0;
 };
 
 class FaultInjector : public EnokiSched {
@@ -140,10 +180,12 @@ class FaultInjector : public EnokiSched {
     uint64_t prepare_throws = 0;
     uint64_t init_throws = 0;
     uint64_t probation_misbehaviors = 0;
+    uint64_t checkpoint_crashes = 0;
 
     uint64_t total() const {
       return dropped_enqueues + stale_tokens + wrong_cpu_tokens + double_returns + throws +
-             busy_spins + hint_floods + prepare_throws + init_throws + probation_misbehaviors;
+             busy_spins + hint_floods + prepare_throws + init_throws + probation_misbehaviors +
+             checkpoint_crashes;
     }
   };
 
@@ -188,12 +230,26 @@ class FaultInjector : public EnokiSched {
 
   // Checkpointing passes straight through to the inner module: the injector
   // holds no accounting state of its own worth snapshotting, and recovery
-  // must be able to restore the real scheduler behind any decorator.
-  bool SaveCheckpoint(ByteWriter* out) const override { return inner_->SaveCheckpoint(out); }
+  // must be able to restore the real scheduler behind any decorator. The
+  // save path is also where crash-during-CheckpointNow is injected.
+  bool SaveCheckpoint(ByteWriter* out) const override {
+    if (plan_.checkpoint_crash_rate > 0.0 &&
+        save_rng_.NextBernoulli(plan_.checkpoint_crash_rate)) {
+      ++counts_.checkpoint_crashes;
+      throw InjectedFault("save_checkpoint");
+    }
+    return inner_->SaveCheckpoint(out);
+  }
   uint32_t CheckpointVersion() const override { return inner_->CheckpointVersion(); }
   bool LoadCheckpoint(uint32_t version, ByteReader* in) override {
     return inner_->LoadCheckpoint(version, in);
   }
+
+  // Probation budgets and flap-damping identity belong to the real module:
+  // the decorator is transparent, so fingerprint refusal of a flapping build
+  // keeps working when the sweep wraps every candidate in an injector.
+  ProbationConfig DefaultProbation() const override { return inner_->DefaultProbation(); }
+  uint64_t VersionFingerprint() const override { return inner_->VersionFingerprint(); }
 
  private:
   bool Chance(double rate) { return rate > 0.0 && rng_.NextBernoulli(rate); }
@@ -210,7 +266,11 @@ class FaultInjector : public EnokiSched {
   std::unique_ptr<EnokiSched> inner_;
   const FaultPlan plan_;
   Rng rng_;
-  Counts counts_;
+  // Dedicated stream for checkpoint-save crashes; mutable because
+  // SaveCheckpoint is const on the EnokiSched interface. Seeded off the main
+  // seed so arming checkpoint faults leaves the in-band sequence untouched.
+  mutable Rng save_rng_{1};
+  mutable Counts counts_;
 
   // Real tokens held back while a forged twin is in flight, keyed by pid.
   std::unordered_map<uint64_t, Schedulable> stashed_;

@@ -90,6 +90,16 @@ class CentralSched : public EnokiSched {
   uint32_t CheckpointVersion() const override { return 1; }
   bool LoadCheckpoint(uint32_t version, ByteReader* in) override;
 
+  // Per-policy probation budget: central dispatch routes every decision
+  // through the dispatch CPU, so a restored module naturally bounces a few
+  // picks while the pulse timer re-arms — a tight pick budget would flap.
+  // Window length and call count stay at the ladder defaults.
+  ProbationConfig DefaultProbation() const override {
+    ProbationConfig p;
+    p.max_pick_errors = 8;
+    return p;
+  }
+
   // Introspection for tests.
   int central_cpu() const { return central_cpu_; }
   uint64_t dispatch_pulses();

@@ -98,6 +98,16 @@ class RustySched : public EnokiSched {
   uint32_t CheckpointVersion() const override { return 1; }
   bool LoadCheckpoint(uint32_t version, ByteReader* in) override;
 
+  // Per-policy probation budget: rusty's greedy stealing probes queues on
+  // other domains, so benign balance misses are routine right after a restore
+  // (running averages decayed, steal bans reset). Loosen the balance budget;
+  // window length and call count stay at the ladder defaults.
+  ProbationConfig DefaultProbation() const override {
+    ProbationConfig p;
+    p.max_balance_errors = 64;
+    return p;
+  }
+
   // Introspection for tests.
   int DomainOf(uint64_t pid);
   uint64_t DomainLoad(int domain);  // decayed average as of now

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/base/cpumask.h"
+#include "src/enoki/checkpoint.h"
 #include "src/simkernel/bodies.h"
 #include "src/simkernel/sched_class.h"
 #include "src/simkernel/sched_core.h"
@@ -110,6 +111,18 @@ class GhostClass : public SchedClass {
 
   uint64_t commits() const { return commits_; }
   uint64_t messages() const { return messages_; }
+
+  // ---- Checkpointing ----
+  // GhostClass is a native SchedClass, not an EnokiSched, so it cannot ride
+  // the EnokiRuntime recovery ladder — but it honors the same versioned,
+  // bounds-guarded checkpoint contract so every in-tree policy round-trips.
+  // v1 serializes the agent-side accounting cursors (arrival sequence,
+  // round-robin placement cursor, commit/message counters); task tables,
+  // queues, and in-flight commits are kernel-side bookkeeping rebuilt from
+  // live task events, exactly as Enoki checkpoints exclude queue membership.
+  bool SaveCheckpoint(ByteWriter* out) const;
+  uint32_t CheckpointVersion() const { return 1; }
+  bool LoadCheckpoint(uint32_t version, ByteReader* in);
 
  private:
   struct GTask {

@@ -316,20 +316,38 @@ bool WfqSched::LoadCheckpoint(uint32_t version, ByteReader* in) {
   for (auto& q : queues_) {
     q.clear();
   }
+  if (min_vruntime_.empty()) {
+    return false;  // detached instance with no machine shape to restore onto
+  }
   uint64_t ncpus = 0;
   if (!in->U64(&ncpus) || ncpus == 0 || ncpus > 4096) {
     return false;
   }
   // A checkpoint from a differently-sized machine renormalizes onto this
-  // one: cursors beyond our CPU count are dropped, missing ones start at 0.
-  std::fill(min_vruntime_.begin(), min_vruntime_.end(), 0);
+  // one instead of dropping state. Saved per-CPU vruntime baselines are
+  // remapped by cpu % live: shrinking folds several saved cursors onto one
+  // live CPU, keeping the *minimum* (entities restored onto that CPU carry
+  // vruntimes measured against their old cursor, and a too-high baseline
+  // would starve them behind fresh arrivals). Growing seeds the extra CPUs
+  // from the global minimum so they join at the fair frontier rather than
+  // at 0 (which would let their first tasks monopolize the machine).
+  std::vector<uint64_t> saved(static_cast<size_t>(ncpus), 0);
+  uint64_t global_min = ~uint64_t{0};
   for (uint64_t cpu = 0; cpu < ncpus; ++cpu) {
-    uint64_t v = 0;
-    if (!in->U64(&v)) {
+    if (!in->U64(&saved[cpu])) {
       return false;
     }
-    if (cpu < min_vruntime_.size()) {
-      min_vruntime_[cpu] = v;
+    global_min = std::min(global_min, saved[cpu]);
+  }
+  const size_t live = min_vruntime_.size();
+  std::fill(min_vruntime_.begin(), min_vruntime_.end(), ~uint64_t{0});
+  for (uint64_t cpu = 0; cpu < ncpus; ++cpu) {
+    uint64_t& slot = min_vruntime_[static_cast<size_t>(cpu % live)];
+    slot = std::min(slot, saved[cpu]);
+  }
+  for (uint64_t& v : min_vruntime_) {
+    if (v == ~uint64_t{0}) {
+      v = global_min;
     }
   }
   uint64_t nlive = 0;
@@ -363,7 +381,10 @@ bool WfqSched::LoadCheckpoint(uint32_t version, ByteReader* in) {
     // v1 predates slice_start_runtime; seed it from the runtime watermark.
     e.slice_start_runtime = version >= 2 ? static_cast<Duration>(slice_start)
                                          : static_cast<Duration>(last_runtime);
-    e.cpu = cpu < queues_.size() ? static_cast<int>(cpu) : 0;
+    // Placement cursors renormalize with the same cpu % live remap as the
+    // vruntime baselines, so an entity folded onto a live CPU lands next to
+    // the baseline its vruntime is measured against.
+    e.cpu = static_cast<int>(cpu % queues_.size());
   }
   return !in->overrun();
 }
